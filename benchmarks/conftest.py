@@ -1,0 +1,15 @@
+"""Shared fixtures of the benchmark suite.
+
+The workload (maps + trees) is built once per session and shared by all
+benches; ``REPRO_SCALE`` (default 0.25) selects the fraction of the
+paper's 131k/127k objects.
+"""
+
+import pytest
+
+from repro.bench import active_scale, get_workload
+
+
+@pytest.fixture(scope="session")
+def workload():
+    return get_workload(active_scale())

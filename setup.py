@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+This offline environment has no ``wheel`` package, so PEP 660 editable
+installs (which build an editable wheel) cannot run.  Keeping a setup.py and
+omitting ``[build-system]`` from pyproject.toml makes ``pip install -e .``
+fall back to the classic ``setup.py develop`` path, which works offline.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""repro — reproduction of *Parallel Processing of Spatial Joins Using
+R-trees* (Brinkhoff, Kriegel, Seeger; ICDE 1996).
+
+The public API re-exports the pieces a downstream user needs:
+
+* geometry (``Rect``, polylines, plane sweep),
+* the R*-tree (``RStarTree``, bulk loading, queries),
+* synthetic TIGER-like workloads (``paper_maps``, ``build_tree``),
+* the sequential join and every parallel variant of the paper
+  (``sequential_join``, ``parallel_spatial_join``, ``LSR``/``GSRR``/``GD``,
+  task reassignment policies),
+* the simulated KSR1 machine (``MachineConfig``) and disk array.
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from .datagen import MapData, build_tree, paper_maps
+from .geometry import Polygon, Polyline, Rect, Segment
+from .join import (
+    GD,
+    GSRR,
+    LSR,
+    ExactRefinement,
+    JoinVariant,
+    ParallelJoinConfig,
+    ParallelJoinResult,
+    ReassignLevel,
+    ReassignmentPolicy,
+    RefinementModel,
+    SequentialJoinResult,
+    VictimChoice,
+    count_root_tasks,
+    create_tasks,
+    multiprocessing_join,
+    parallel_spatial_join,
+    prepare_trees,
+    sequential_join,
+)
+from .rtree import RStarTree, nearest_neighbors, str_bulk_load, tree_stats, window_query
+from .sim import KSR1_CONFIG, MachineConfig
+from .storage import DiskParams, StorageParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Rect",
+    "Segment",
+    "Polyline",
+    "Polygon",
+    "RStarTree",
+    "str_bulk_load",
+    "tree_stats",
+    "window_query",
+    "nearest_neighbors",
+    "MapData",
+    "paper_maps",
+    "build_tree",
+    "sequential_join",
+    "SequentialJoinResult",
+    "parallel_spatial_join",
+    "ParallelJoinConfig",
+    "ParallelJoinResult",
+    "prepare_trees",
+    "multiprocessing_join",
+    "create_tasks",
+    "count_root_tasks",
+    "JoinVariant",
+    "LSR",
+    "GSRR",
+    "GD",
+    "ReassignmentPolicy",
+    "ReassignLevel",
+    "VictimChoice",
+    "RefinementModel",
+    "ExactRefinement",
+    "MachineConfig",
+    "KSR1_CONFIG",
+    "DiskParams",
+    "StorageParams",
+    "__version__",
+]

@@ -1,0 +1,226 @@
+"""Experiment drivers for Figures 5, 7, 8, 9 and 10 plus ablations.
+
+Each ``figureN`` function runs the paper's parameter sweep against the
+cached workload and returns structured rows; the ``benchmarks/`` files
+render and print them.  Buffer sizes given in paper pages are scaled with
+the workload (see :mod:`repro.bench.harness`).
+"""
+
+from __future__ import annotations
+
+from ..join import (
+    GD,
+    GSRR,
+    LSR,
+    JoinVariant,
+    ParallelJoinConfig,
+    ReassignLevel,
+    ReassignmentPolicy,
+    VictimChoice,
+)
+from .harness import Workload, run_join, scaled_pages
+
+__all__ = [
+    "VARIANTS",
+    "figure5",
+    "figure7",
+    "figure8",
+    "figure9_and_10",
+    "ablation_task_order",
+    "ablation_tuning_techniques",
+]
+
+VARIANTS: list[JoinVariant] = [LSR, GSRR, GD]
+
+#: The paper's Figure 5 x-axis (total LRU buffer pages).
+FIG5_BUFFERS = [200, 400, 800, 1600, 3200]
+#: Processor counts sampled for Figures 9/10 (paper: 1..24).
+FIG9_PROCESSORS = [1, 2, 4, 8, 12, 16, 20, 24]
+
+ROOT_POLICY = ReassignmentPolicy(level=ReassignLevel.ROOT)
+ALL_POLICY = ReassignmentPolicy(level=ReassignLevel.ALL)
+NO_POLICY = ReassignmentPolicy(level=ReassignLevel.NONE)
+
+
+def figure5(workload: Workload) -> list[dict[str, object]]:
+    """Disk accesses vs total buffer size for lsr/gsrr/gd at n = 8 and 24.
+
+    Section 4.3's setup: d = n, task reassignment on the root level.
+    """
+    rows = []
+    for n in (8, 24):
+        for paper_pages in FIG5_BUFFERS:
+            row: dict[str, object] = {
+                "processors": n,
+                "buffer (paper pages)": paper_pages,
+            }
+            for variant in VARIANTS:
+                result = run_join(
+                    workload,
+                    ParallelJoinConfig(
+                        processors=n,
+                        disks=n,
+                        total_buffer_pages=scaled_pages(paper_pages, workload.scale),
+                        variant=variant,
+                        reassignment=ROOT_POLICY,
+                    ),
+                )
+                row[variant.short_name] = result.disk_accesses
+            rows.append(row)
+    return rows
+
+
+def figure7(workload: Workload) -> list[dict[str, object]]:
+    """Run times (first/avg/last processor) and disk accesses with
+    reassignment off / root level / all levels (section 4.4; n = d = 8,
+    800-page buffer)."""
+    policies = [
+        ("without", NO_POLICY),
+        ("root level", ReassignmentPolicy(level=ReassignLevel.ROOT)),
+        ("all levels", ALL_POLICY),
+    ]
+    rows = []
+    for variant in VARIANTS:
+        for label, policy in policies:
+            result = run_join(
+                workload,
+                ParallelJoinConfig(
+                    processors=8,
+                    disks=8,
+                    total_buffer_pages=scaled_pages(800, workload.scale),
+                    variant=variant,
+                    reassignment=policy,
+                ),
+            )
+            rows.append(
+                {
+                    "variant": variant.short_name,
+                    "reassignment": label,
+                    "first (s)": result.times.first_finish,
+                    "avg (s)": result.times.average_finish,
+                    "last (s)": result.times.response_time,
+                    "disk accesses": result.disk_accesses,
+                    "reassignments": result.reassignments,
+                }
+            )
+    return rows
+
+
+def figure8(workload: Workload) -> list[dict[str, object]]:
+    """Victim selection: most-loaded (a) vs arbitrary (b); n = 8
+    (section 4.4, reassignment on all levels)."""
+    rows = []
+    for variant in VARIANTS:
+        row: dict[str, object] = {"variant": variant.short_name}
+        for label, victim in (
+            ("a: max load", VictimChoice.MAX_LOAD),
+            ("b: arbitrary", VictimChoice.ARBITRARY),
+        ):
+            result = run_join(
+                workload,
+                ParallelJoinConfig(
+                    processors=8,
+                    disks=8,
+                    total_buffer_pages=scaled_pages(800, workload.scale),
+                    variant=variant,
+                    reassignment=ReassignmentPolicy(
+                        level=ReassignLevel.ALL, victim=victim
+                    ),
+                ),
+            )
+            row[label] = result.disk_accesses
+        rows.append(row)
+    return rows
+
+
+def figure9_and_10(workload: Workload) -> list[dict[str, object]]:
+    """Response time, speed-up and disk accesses vs processor count for
+    d = 1, d = 8 and d = n (sections 4.5; gd + reassignment on all levels,
+    buffer of 100 pages per processor)."""
+    rows = []
+    baselines: dict[str, float] = {}
+    for series, disks_of in (
+        ("d=1", lambda n: 1),
+        ("d=8", lambda n: 8),
+        ("d=n", lambda n: n),
+    ):
+        for n in FIG9_PROCESSORS:
+            result = run_join(
+                workload,
+                ParallelJoinConfig(
+                    processors=n,
+                    disks=disks_of(n),
+                    total_buffer_pages=scaled_pages(100 * n, workload.scale),
+                    variant=GD,
+                    reassignment=ALL_POLICY,
+                ),
+            )
+            if n == 1:
+                baselines[series] = result.response_time
+            rows.append(
+                {
+                    "series": series,
+                    "processors": n,
+                    "response (s)": result.response_time,
+                    "speedup": baselines[series] / result.response_time
+                    if result.response_time
+                    else float("inf"),
+                    "disk accesses": result.disk_accesses,
+                    "total run time (s)": result.times.total_run_time,
+                }
+            )
+    return rows
+
+
+def ablation_task_order(workload: Workload) -> list[dict[str, object]]:
+    """How much the plane-sweep task order is worth: shuffled tasks destroy
+    the spatial locality that the buffers exploit."""
+    rows = []
+    for variant in VARIANTS:
+        for label, seed in (("plane-sweep order", None), ("shuffled", 1234)):
+            result = run_join(
+                workload,
+                ParallelJoinConfig(
+                    processors=8,
+                    disks=8,
+                    total_buffer_pages=scaled_pages(800, workload.scale),
+                    variant=variant,
+                    reassignment=ROOT_POLICY,
+                    shuffle_tasks_seed=seed,
+                ),
+            )
+            rows.append(
+                {
+                    "variant": variant.short_name,
+                    "task order": label,
+                    "disk accesses": result.disk_accesses,
+                    "response (s)": result.response_time,
+                }
+            )
+    return rows
+
+
+def ablation_tuning_techniques(workload: Workload) -> list[dict[str, object]]:
+    """CPU effect of [BKS 93]'s tuning: search-space restriction and the
+    node-level plane sweep (intersection-test counts of the sequential
+    filter step)."""
+    from ..join import sequential_join
+
+    rows = []
+    for restriction in (True, False):
+        for sweep in (True, False):
+            result = sequential_join(
+                workload.tree1,
+                workload.tree2,
+                use_restriction=restriction,
+                use_sweep=sweep,
+            )
+            rows.append(
+                {
+                    "restriction": "on" if restriction else "off",
+                    "plane sweep": "on" if sweep else "off",
+                    "intersection tests": result.intersection_tests,
+                    "candidates": result.candidates,
+                }
+            )
+    return rows

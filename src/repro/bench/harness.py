@@ -1,0 +1,79 @@
+"""Shared infrastructure of the benchmark suite.
+
+Every table/figure bench pulls its workload from here: the two synthetic
+maps and their R*-trees are built once per scale and cached in-process, so
+a ``pytest benchmarks/`` run pays the generation cost a single time.
+
+Scaling: the paper's experiments use the full 131k/127k-object maps; the
+benches default to a quarter-scale workload so the whole suite finishes in
+minutes.  Buffer sizes scale along with the data (the paper's 200-3,200
+total pages stay proportional to the tree sizes).  Set the environment
+variable ``REPRO_SCALE=1.0`` to run the paper-size experiments.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..datagen import MapData, build_tree, paper_maps
+from ..join import (
+    ParallelJoinConfig,
+    ParallelJoinResult,
+    parallel_spatial_join,
+    prepare_trees,
+)
+from ..rtree.pagestore import PageStore
+from ..rtree.rstar import RStarTree
+
+__all__ = ["Workload", "get_workload", "active_scale", "run_join", "scaled_pages"]
+
+_CACHE: dict[float, "Workload"] = {}
+
+#: Default experiment scale (fraction of the paper's object counts).
+DEFAULT_SCALE = 0.25
+
+
+def active_scale() -> float:
+    """The active scale: ``REPRO_SCALE`` env var or the 0.25 default."""
+    return float(os.environ.get("REPRO_SCALE", DEFAULT_SCALE))
+
+
+@dataclass
+class Workload:
+    """The two maps, their prepared trees and the shared page store."""
+
+    scale: float
+    map1: MapData
+    map2: MapData
+    tree1: RStarTree
+    tree2: RStarTree
+    page_store: PageStore
+
+
+def get_workload(scale: float | None = None) -> Workload:
+    """Build (or fetch the cached) paper workload at *scale*."""
+    if scale is None:
+        scale = active_scale()
+    cached = _CACHE.get(scale)
+    if cached is not None:
+        return cached
+    map1, map2 = paper_maps(scale=scale)
+    tree1 = build_tree(map1)
+    tree2 = build_tree(map2)
+    page_store = prepare_trees(tree1, tree2)
+    workload = Workload(scale, map1, map2, tree1, tree2, page_store)
+    _CACHE[scale] = workload
+    return workload
+
+
+def scaled_pages(paper_pages: int, scale: float) -> int:
+    """Translate a paper buffer size (pages) to the current scale."""
+    return max(4, round(paper_pages * scale))
+
+
+def run_join(workload: Workload, config: ParallelJoinConfig) -> ParallelJoinResult:
+    """One experiment run against the cached workload (cold buffers)."""
+    return parallel_spatial_join(
+        workload.tree1, workload.tree2, config, page_store=workload.page_store
+    )

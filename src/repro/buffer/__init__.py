@@ -1,0 +1,15 @@
+"""Buffer organisation (section 3.2): LRU, path buffers, local vs global."""
+
+from .base import AccessSource
+from .global_buffer import GlobalDirectory
+from .local import ProcessorBufferManager
+from .lru import LRUBuffer
+from .path_buffer import PathBuffer
+
+__all__ = [
+    "AccessSource",
+    "LRUBuffer",
+    "PathBuffer",
+    "GlobalDirectory",
+    "ProcessorBufferManager",
+]

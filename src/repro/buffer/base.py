@@ -1,0 +1,23 @@
+"""Common vocabulary of the buffer layer."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["AccessSource"]
+
+
+class AccessSource(enum.Enum):
+    """Where a page access was satisfied — the paper's cost hierarchy.
+
+    ``PATH``   — the R*-tree's own path buffer (processor-local, free),
+    ``LRU``    — the processor's local LRU buffer (local memory copy),
+    ``REMOTE`` — another processor's buffer via the SVM (bus transfer);
+                 only possible with the global buffer of section 3.2,
+    ``DISK``   — secondary storage (16 ms / 37.5 ms per section 4.2).
+    """
+
+    PATH = "path"
+    LRU = "lru"
+    REMOTE = "remote"
+    DISK = "disk"

@@ -1,0 +1,117 @@
+"""The (virtual) global buffer of section 3.2.
+
+With shared virtual memory, "the global buffer consists of the sum of the
+local buffers": a shared *directory* records which processor's local buffer
+currently holds each page.  A processor missing its own buffer first asks
+the directory; on a hit it copies the page from the owner's memory over the
+interconnect instead of reading it from disk.  The invariant the paper
+states — *a page occurs at most once in one of the local buffers* — is
+maintained by never caching remote copies locally and by deregistering
+pages on eviction.
+
+Directory updates require synchronisation; every lookup/register/deregister
+is a short critical section under one latch whose length is
+``MachineConfig.sync_time``.  At high processor counts the latch queue is
+part of the synchronisation cost the paper's speed-up analysis mentions.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..sim.engine import Environment, Event
+from ..sim.machine import Machine
+from ..sim.resources import Lock
+
+__all__ = ["GlobalDirectory"]
+
+
+class GlobalDirectory:
+    """Shared page → owner map of the SVM global buffer.
+
+    Besides completed registrations, the directory tracks *in-flight* disk
+    loads: when a processor misses globally it atomically claims the load,
+    and any processor requesting the same page while the read is under way
+    waits for its completion instead of issuing a duplicate disk read —
+    the behaviour a real SVM page directory gives for free and the reason
+    the global buffer's disk-access counts drop below the local ones.
+    """
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.env: Environment = machine.env
+        self._owner: dict[int, int] = {}
+        self._loading: dict[int, Event] = {}
+        self._latch = Lock(machine.env, name="global-directory")
+
+    # -- synchronised operations (process fragments) -------------------------
+    def lookup(self, page_id: int) -> Generator:
+        """Who holds *page_id*?  Returns the owner id or None."""
+        yield from self._critical_section()
+        return self._owner.get(page_id)
+
+    def begin_access(self, page_id: int, requester: int) -> Generator:
+        """Atomically decide how *requester* obtains *page_id*.
+
+        Returns one of
+        ``("owner", proc_id)`` — some processor's buffer holds the page,
+        ``("wait", event)``    — another processor is loading it; wait for
+                                 the event, then retry,
+        ``("load", None)``     — the requester claimed the load and must
+                                 read from disk, then call :meth:`finish_load`.
+        """
+        yield from self._critical_section()
+        owner = self._owner.get(page_id)
+        if owner is not None and owner != requester:
+            return ("owner", owner)
+        if owner == requester:
+            # Registered but missed the local LRU (cannot normally happen;
+            # treat as a reload by the same owner).
+            return ("load", None)
+        pending = self._loading.get(page_id)
+        if pending is not None:
+            return ("wait", pending)
+        self._loading[page_id] = self.env.event()
+        return ("load", None)
+
+    def finish_load(self, page_id: int, owner: int) -> Generator:
+        """The claimed disk read completed: register and wake waiters."""
+        yield from self._critical_section()
+        self._owner[page_id] = owner
+        pending = self._loading.pop(page_id, None)
+        if pending is not None:
+            pending.succeed()
+
+    def register(self, page_id: int, owner: int) -> Generator:
+        """Record that *owner* just loaded *page_id* into its local buffer."""
+        yield from self._critical_section()
+        self._owner[page_id] = owner
+
+    def deregister(self, page_id: int, owner: int) -> Generator:
+        """Remove the entry when *owner* evicts *page_id*.
+
+        Only the current owner may deregister — a stale eviction (the page
+        has since been reloaded by someone else) must not drop the newer
+        registration.
+        """
+        yield from self._critical_section()
+        if self._owner.get(page_id) == owner:
+            del self._owner[page_id]
+
+    def _critical_section(self) -> Generator:
+        yield self._latch.acquire()
+        try:
+            yield self.env.timeout(self.machine.config.sync_time)
+        finally:
+            self._latch.release()
+        self.machine.metrics.add("directory_ops")
+
+    # -- unsynchronised views (tests, assertions) -----------------------------
+    def owner_of(self, page_id: int) -> Optional[int]:
+        return self._owner.get(page_id)
+
+    def __len__(self) -> int:
+        return len(self._owner)
+
+    def __repr__(self) -> str:
+        return f"<GlobalDirectory {len(self._owner)} pages>"

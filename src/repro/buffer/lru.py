@@ -1,0 +1,71 @@
+"""The LRU page buffer ([GR 93], as used in section 4.2 of the paper).
+
+A pure replacement-policy data structure: it tracks *which* pages are
+resident and evicts the least recently used one on overflow.  Timing and
+metrics live in the managers of :mod:`repro.buffer.local` and
+:mod:`repro.buffer.global_buffer`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Optional
+
+__all__ = ["LRUBuffer"]
+
+
+class LRUBuffer:
+    """Fixed-capacity page set with least-recently-used replacement."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("LRU buffer capacity must be at least one page")
+        self.capacity = capacity
+        self._pages: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def touch(self, page_id: int) -> bool:
+        """Access *page_id*: True and refreshed recency on a hit, False on
+        a miss (the caller then fetches the page and calls :meth:`insert`)."""
+        if page_id in self._pages:
+            self._pages.move_to_end(page_id)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, page_id: int) -> Optional[int]:
+        """Make *page_id* resident (most recent); returns the evicted page
+        id when the buffer overflowed, else None."""
+        if page_id in self._pages:
+            self._pages.move_to_end(page_id)
+            return None
+        evicted = None
+        if len(self._pages) >= self.capacity:
+            evicted, _ = self._pages.popitem(last=False)
+        self._pages[page_id] = None
+        return evicted
+
+    def remove(self, page_id: int) -> bool:
+        """Drop *page_id* if resident (used when ownership migrates)."""
+        if page_id in self._pages:
+            del self._pages[page_id]
+            return True
+        return False
+
+    def pages(self) -> Iterable[int]:
+        """Resident pages, least recent first."""
+        return self._pages.keys()
+
+    def clear(self) -> None:
+        self._pages.clear()
+
+    def __repr__(self) -> str:
+        return f"<LRUBuffer {len(self._pages)}/{self.capacity}>"

@@ -1,0 +1,55 @@
+"""The R*-tree path buffer (section 2.2).
+
+Each R*-tree keeps "all nodes of the path which was accessed last" in a
+buffer of its own, *independent* of the LRU buffer: the path buffer belongs
+to the tree (and in the parallel setting to the processor traversing it),
+whereas the LRU buffer models the database/OS page cache.  During the
+depth-first join traversal, the parent nodes of the current node pair are
+therefore always found without I/O, and — important for the global buffer —
+without any traffic on the interconnect (section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["PathBuffer"]
+
+
+class PathBuffer:
+    """Holds the page of each level on the most recently accessed path.
+
+    Level 0 is the root.  Setting a page at level ``k`` invalidates all
+    deeper levels, exactly like a depth-first traversal replacing the tail
+    of the current path.
+    """
+
+    def __init__(self, height: int):
+        if height < 1:
+            raise ValueError("path buffer height must be at least 1")
+        self.height = height
+        self._path: list[Optional[int]] = [None] * height
+        self.hits = 0
+
+    def record(self, level: int, page_id: int) -> None:
+        """The traversal entered *page_id* at *level*; deeper slots clear."""
+        if not 0 <= level < self.height:
+            raise IndexError(f"level {level} outside path of height {self.height}")
+        self._path[level] = page_id
+        for deeper in range(level + 1, self.height):
+            self._path[deeper] = None
+
+    def contains(self, page_id: int) -> bool:
+        if page_id in self._path:
+            self.hits += 1
+            return True
+        return False
+
+    def current_path(self) -> list[Optional[int]]:
+        return list(self._path)
+
+    def clear(self) -> None:
+        self._path = [None] * self.height
+
+    def __repr__(self) -> str:
+        return f"<PathBuffer {self._path}>"

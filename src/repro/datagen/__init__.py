@@ -1,0 +1,24 @@
+"""Synthetic TIGER-like workload generation (the paper's test data).
+
+The paper used TIGER/Line precensus files of Californian counties, which
+we cannot ship; this package generates seeded synthetic equivalents with
+the same cardinalities and spatial character (see DESIGN.md for the
+substitution argument).
+"""
+
+from .boundaries import generate_boundaries
+from .maps import MAP1_COUNT, MAP2_COUNT, MapData, build_tree, paper_maps
+from .region import Region, SpatialObject
+from .streets import generate_streets
+
+__all__ = [
+    "Region",
+    "SpatialObject",
+    "generate_streets",
+    "generate_boundaries",
+    "MapData",
+    "paper_maps",
+    "build_tree",
+    "MAP1_COUNT",
+    "MAP2_COUNT",
+]

@@ -1,0 +1,110 @@
+"""Synthetic administrative boundaries, rivers and railway tracks (*map 2*).
+
+The paper's second map mixes three linear feature classes over the same
+region as the street map:
+
+* **boundary segments** — edges of rectangular administrative rings drawn
+  around settlements (cities and districts); medium-length, axis-parallel;
+* **river segments** — pieces of long meandering random walks crossing the
+  region; curved, with fatter MBRs;
+* **railway segments** — pieces of long, nearly straight walks connecting
+  city pairs.
+
+The class mix (60/25/15) is a free parameter of the substitution; what
+matters for the reproduction is that map 2 clusters in the same places as
+map 1 (settlements) while also containing long features that span many
+street clusters — the workload property that makes some join tasks far more
+expensive than others.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..geometry.rect import Rect
+from .region import Region, SpatialObject
+
+__all__ = ["generate_boundaries"]
+
+RIVER_STEP = 0.00038
+RAIL_STEP = 0.0006
+
+
+def generate_boundaries(
+    region: Region,
+    count: int,
+    seed: int,
+    include_geometry: bool = False,
+    mix: tuple[float, float, float] = (0.60, 0.25, 0.15),
+) -> list[SpatialObject]:
+    """Generate *count* map-2 objects: boundaries, rivers, railways."""
+    if abs(sum(mix) - 1.0) > 1e-9:
+        raise ValueError("feature mix must sum to 1")
+    rng = random.Random(seed)
+    boundary_count = round(count * mix[0])
+    river_count = round(count * mix[1])
+    rail_count = count - boundary_count - river_count
+
+    chains: list[list[tuple[float, float]]] = []
+    chains.extend(_boundary_chains(region, boundary_count, rng))
+    chains.extend(_walk_chains(region, river_count, rng, RIVER_STEP, curviness=0.5))
+    chains.extend(_walk_chains(region, rail_count, rng, RAIL_STEP, curviness=0.08))
+
+    objects = []
+    for oid, points in enumerate(chains[:count]):
+        objects.append(
+            SpatialObject(
+                oid=oid,
+                mbr=Rect.from_points(points),
+                points=tuple(points) if include_geometry else None,
+            )
+        )
+    return objects
+
+
+def _boundary_chains(
+    region: Region, count: int, rng: random.Random
+) -> list[list[tuple[float, float]]]:
+    """Edges of rectangular rings around settlement points."""
+    chains: list[list[tuple[float, float]]] = []
+    while len(chains) < count:
+        cx, cy = region.sample_settlement_point(rng, rural_fraction=0.25)
+        w = rng.uniform(0.0006, 0.002)
+        h = rng.uniform(0.0006, 0.002)
+        x0, y0 = region.clamp(cx - w / 2.0, cy - h / 2.0)
+        x1, y1 = region.clamp(cx + w / 2.0, cy + h / 2.0)
+        corners = [(x0, y0), (x1, y0), (x1, y1), (x0, y1), (x0, y0)]
+        # Each ring edge is one boundary object (TIGER stores edges).
+        for a, b in zip(corners, corners[1:]):
+            if len(chains) >= count:
+                break
+            chains.append([a, b])
+    return chains
+
+
+def _walk_chains(
+    region: Region,
+    count: int,
+    rng: random.Random,
+    step: float,
+    curviness: float,
+) -> list[list[tuple[float, float]]]:
+    """Pieces of long random walks (rivers / railways) across the region."""
+    chains: list[list[tuple[float, float]]] = []
+    segments_per_walk = max(8, round(40 * math.sqrt(region.scale)))
+    while len(chains) < count:
+        x, y = rng.uniform(0, region.side), rng.uniform(0, region.side)
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        for _ in range(segments_per_walk):
+            if len(chains) >= count:
+                break
+            pieces = [(x, y)]
+            for _ in range(rng.randint(2, 4)):
+                angle += rng.gauss(0.0, curviness)
+                x, y = region.clamp(
+                    x + step * math.cos(angle), y + step * math.sin(angle)
+                )
+                pieces.append((x, y))
+            chains.append(pieces)
+    return chains

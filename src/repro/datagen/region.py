@@ -1,0 +1,118 @@
+"""The synthetic study region and its settlement structure.
+
+The paper's test data are TIGER/Line files of Californian counties
+[Bur 89]: street segments concentrate in cities and towns, with sparse
+rural roads between them, and the second map's boundaries, rivers and
+railway tracks span the same region.  We reproduce that *spatial
+character* with a seeded settlement model: a set of weighted population
+centers (cities) inside a square region.  All generators draw locations
+from this model, so both maps cluster in the same places — which is what
+creates the spatially skewed join workload the paper's load balancing is
+about.
+
+Scaling: ``scale`` shrinks the object counts; the region side shrinks with
+``sqrt(scale)`` so the object *density* — and with it the per-object join
+selectivity — stays constant across scales.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from ..geometry.rect import Rect
+
+__all__ = ["Region", "SpatialObject"]
+
+
+@dataclass(frozen=True)
+class SpatialObject:
+    """One map object: identifier, MBR, and optionally the exact polyline.
+
+    ``points`` is None when the generator was asked to skip exact geometry
+    (benchmarks only need MBRs; the refinement cost is a function of the
+    MBRs per section 4.2).  The MBR coordinates are also exposed flat so a
+    SpatialObject can be fed to the plane-sweep directly.
+    """
+
+    oid: int
+    mbr: Rect
+    points: tuple[tuple[float, float], ...] | None = field(default=None, compare=False)
+
+    @property
+    def xl(self) -> float:
+        return self.mbr.xl
+
+    @property
+    def yl(self) -> float:
+        return self.mbr.yl
+
+    @property
+    def xu(self) -> float:
+        return self.mbr.xu
+
+    @property
+    def yu(self) -> float:
+        return self.mbr.yu
+
+
+class Region:
+    """A square study area with weighted city centers."""
+
+    def __init__(self, scale: float = 1.0, seed: int = 42, cities_per_unit: int = 36):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+        self.seed = seed
+        self.side = math.sqrt(scale)
+        self.bounds = Rect(0.0, 0.0, self.side, self.side)
+        rng = random.Random(seed)
+        count = max(3, round(cities_per_unit * scale))
+        self.cities: list[tuple[float, float]] = []
+        self.city_sigmas: list[float] = []
+        weights: list[float] = []
+        for _ in range(count):
+            self.cities.append((rng.uniform(0, self.side), rng.uniform(0, self.side)))
+            # City footprint: a few percent of the region side.
+            self.city_sigmas.append(rng.uniform(0.015, 0.05))
+            # Zipf-ish population weights: a few big cities, many towns.
+            weights.append(rng.paretovariate(1.2))
+        total = sum(weights)
+        self.city_weights = [w / total for w in weights]
+        self._cumulative: list[float] = []
+        acc = 0.0
+        for w in self.city_weights:
+            acc += w
+            self._cumulative.append(acc)
+
+    def pick_city(self, rng: random.Random) -> int:
+        """Sample a city index proportional to population weight."""
+        u = rng.random()
+        lo, hi = 0, len(self._cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def sample_settlement_point(
+        self, rng: random.Random, rural_fraction: float = 0.15
+    ) -> tuple[float, float]:
+        """A location: usually near a city, sometimes rural."""
+        if rng.random() < rural_fraction:
+            return (rng.uniform(0, self.side), rng.uniform(0, self.side))
+        index = self.pick_city(rng)
+        cx, cy = self.cities[index]
+        sigma = self.city_sigmas[index]
+        x = min(max(rng.gauss(cx, sigma), 0.0), self.side)
+        y = min(max(rng.gauss(cy, sigma), 0.0), self.side)
+        return (x, y)
+
+    def clamp(self, x: float, y: float) -> tuple[float, float]:
+        return (min(max(x, 0.0), self.side), min(max(y, 0.0), self.side))
+
+    def __repr__(self) -> str:
+        return f"<Region scale={self.scale} side={self.side:.3f} cities={len(self.cities)}>"

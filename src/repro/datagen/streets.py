@@ -1,0 +1,62 @@
+"""Synthetic street segments — the stand-in for the paper's *map 1*.
+
+TIGER street records are short polylines following a mostly rectilinear
+street grid.  Each generated street starts at a settlement point, picks a
+grid direction (axis-parallel with jitter, occasionally diagonal) and walks
+one to three short steps.  Streets therefore produce small, thin, heavily
+clustered MBRs — the MBR population whose skew drives the paper's task
+imbalance.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..geometry.rect import Rect
+from .region import Region, SpatialObject
+
+__all__ = ["generate_streets"]
+
+#: Mean street-segment step length, absolute units of the unit-scale region.
+STEP_LENGTH = 0.00009
+
+
+def generate_streets(
+    region: Region,
+    count: int,
+    seed: int,
+    include_geometry: bool = False,
+) -> list[SpatialObject]:
+    """Generate *count* street objects over *region*.
+
+    Deterministic for a given ``(region, count, seed)``.  Object ids run
+    from 0 to ``count - 1``.
+    """
+    rng = random.Random(seed)
+    objects: list[SpatialObject] = []
+    grid_angles = (0.0, math.pi / 2.0, math.pi, 3.0 * math.pi / 2.0)
+    for oid in range(count):
+        x, y = region.sample_settlement_point(rng)
+        if rng.random() < 0.85:
+            angle = rng.choice(grid_angles) + rng.gauss(0.0, 0.06)
+        else:
+            angle = rng.uniform(0.0, 2.0 * math.pi)
+        steps = rng.randint(1, 3)
+        points = [(x, y)]
+        for _ in range(steps):
+            length = rng.uniform(0.5, 1.5) * STEP_LENGTH
+            angle += rng.gauss(0.0, 0.15)
+            x, y = region.clamp(
+                x + length * math.cos(angle), y + length * math.sin(angle)
+            )
+            points.append((x, y))
+        mbr = Rect.from_points(points)
+        objects.append(
+            SpatialObject(
+                oid=oid,
+                mbr=mbr,
+                points=tuple(points) if include_geometry else None,
+            )
+        )
+    return objects

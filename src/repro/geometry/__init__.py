@@ -1,0 +1,29 @@
+"""Geometric primitives: MBR algebra, exact geometry, plane sweep.
+
+This package is the foundation both of the R*-tree (``repro.rtree``) and of
+the join algorithms (``repro.join``).  See the paper's section 2.2 for the
+plane-sweep formulation reproduced in :mod:`repro.geometry.planesweep`.
+"""
+
+from .brute import brute_join_pairs, brute_window_query
+from .hull import ConvexPolygon, convex_hull
+from .planesweep import SweepResult, restrict_to_window, sweep_pairs, x_sorted
+from .polygon import Polygon
+from .polyline import Polyline
+from .rect import Rect
+from .segment import Segment
+
+__all__ = [
+    "Rect",
+    "Segment",
+    "Polyline",
+    "Polygon",
+    "ConvexPolygon",
+    "convex_hull",
+    "sweep_pairs",
+    "x_sorted",
+    "restrict_to_window",
+    "SweepResult",
+    "brute_join_pairs",
+    "brute_window_query",
+]

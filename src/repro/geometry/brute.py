@@ -1,0 +1,47 @@
+"""Quadratic reference algorithms used as ground truth in tests and benches.
+
+Every non-trivial algorithm in this repository (plane sweep, R*-tree window
+query, sequential join, all parallel join variants) is validated against
+these brutally simple implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+__all__ = ["brute_join_pairs", "brute_window_query"]
+
+
+def brute_join_pairs(rs: Sequence[T], ss: Sequence[U]) -> list[tuple[T, U]]:
+    """All pairs ``(r, s)`` with intersecting MBRs, nested-loop style.
+
+    Items are anything exposing ``xl, yl, xu, yu``.  The output order is
+    row-major (all partners of ``rs[0]`` first), *not* the plane-sweep
+    order; compare as sets.
+    """
+    out: list[tuple[T, U]] = []
+    for r in rs:
+        r_xl = r.xl
+        r_yl = r.yl
+        r_xu = r.xu
+        r_yu = r.yu
+        for s in ss:
+            if r_xl <= s.xu and s.xl <= r_xu and r_yl <= s.yu and s.yl <= r_yu:
+                out.append((r, s))
+    return out
+
+
+def brute_window_query(items: Sequence[T], window) -> list[T]:
+    """All items whose MBR intersects ``window``, in input order."""
+    w_xl = window.xl
+    w_yl = window.yl
+    w_xu = window.xu
+    w_yu = window.yu
+    return [
+        e
+        for e in items
+        if e.xl <= w_xu and w_xl <= e.xu and e.yl <= w_yu and w_yl <= e.yu
+    ]

@@ -1,0 +1,149 @@
+"""Convex hulls — conservative object approximations for a second filter.
+
+[BKS 94] (*Multi-Step Processing of Spatial Joins*) shows that a second
+filter step with better conservative approximations than the MBR removes
+many false hits before the expensive exact test.  The convex hull is the
+tightest convex conservative approximation; two objects can only intersect
+if their hulls do.
+
+``convex_hull`` is Andrew's monotone chain (O(n log n));
+:class:`ConvexPolygon` tests hull/hull intersection with the separating
+axis theorem (exact arithmetic on the cross products).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .rect import Rect
+
+__all__ = ["convex_hull", "ConvexPolygon"]
+
+
+def convex_hull(points: Sequence[tuple[float, float]]) -> list[tuple[float, float]]:
+    """The convex hull of *points* in counter-clockwise order.
+
+    Collinear points on the hull boundary are dropped.  Degenerate inputs
+    return what they can: a single point or the two endpoints of a
+    collinear set.
+    """
+    unique = sorted(set((float(x), float(y)) for x, y in points))
+    if len(unique) <= 2:
+        return unique
+
+    def half(points_iter):
+        chain: list[tuple[float, float]] = []
+        for point in points_iter:
+            while len(chain) >= 2 and _cross(chain[-2], chain[-1], point) <= 0:
+                chain.pop()
+            chain.append(point)
+        return chain
+
+    lower = half(unique)
+    upper = half(reversed(unique))
+    hull = lower[:-1] + upper[:-1]
+    if not hull:  # all collinear
+        return [unique[0], unique[-1]]
+    return hull
+
+
+def _cross(o, a, b) -> float:
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+class ConvexPolygon:
+    """A convex region given by its CCW hull vertices (1, 2 or >= 3)."""
+
+    __slots__ = ("points", "_mbr")
+
+    def __init__(self, points: Sequence[tuple[float, float]]):
+        pts = [(float(x), float(y)) for x, y in points]
+        if not pts:
+            raise ValueError("a convex polygon needs at least one point")
+        self.points = pts
+        self._mbr = Rect.from_points(pts)
+
+    @classmethod
+    def of(cls, points: Sequence[tuple[float, float]]) -> "ConvexPolygon":
+        """Hull of an arbitrary point set."""
+        return cls(convex_hull(points))
+
+    @property
+    def mbr(self) -> Rect:
+        return self._mbr
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """Closed containment (boundary counts)."""
+        pts = self.points
+        if len(pts) == 1:
+            return pts[0] == (x, y)
+        if len(pts) == 2:
+            return _on_segment(pts[0], pts[1], (x, y))
+        for i in range(len(pts)):
+            a = pts[i]
+            b = pts[(i + 1) % len(pts)]
+            if _cross(a, b, (x, y)) < 0:
+                return False
+        return True
+
+    def intersects(self, other: "ConvexPolygon") -> bool:
+        """Separating-axis test for two convex regions (closed semantics:
+        touching hulls intersect)."""
+        if not self._mbr.intersects(other._mbr):
+            return False
+        axes = _axes(self.points) + _axes(other.points)
+        if not axes:
+            # Two single points.
+            return self.points[0] == other.points[0]
+        return not any(
+            _separates(nx, ny, self.points, other.points) for nx, ny in axes
+        )
+
+    def __repr__(self) -> str:
+        return f"ConvexPolygon({len(self.points)} vertices)"
+
+
+def _axes(pts: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Candidate separating axes contributed by one hull.
+
+    Polygons contribute their edge normals; a 2-point hull (a segment)
+    contributes its normal *and* its direction (two collinear but disjoint
+    segments are only separated along the direction axis); a point
+    contributes nothing.
+    """
+    count = len(pts)
+    if count == 1:
+        return []
+    if count == 2:
+        ax, ay = pts[0]
+        bx, by = pts[1]
+        return [(by - ay, ax - bx), (bx - ax, by - ay)]
+    axes = []
+    for i in range(count):
+        ax, ay = pts[i]
+        bx, by = pts[(i + 1) % count]
+        axes.append((by - ay, ax - bx))
+    return axes
+
+
+def _separates(
+    nx: float,
+    ny: float,
+    pts_a: list[tuple[float, float]],
+    pts_b: list[tuple[float, float]],
+) -> bool:
+    """True when the axis (nx, ny) strictly separates the two point sets."""
+    min_a = min(nx * x + ny * y for x, y in pts_a)
+    max_a = max(nx * x + ny * y for x, y in pts_a)
+    min_b = min(nx * x + ny * y for x, y in pts_b)
+    max_b = max(nx * x + ny * y for x, y in pts_b)
+    return max_a < min_b or max_b < min_a
+
+
+def _on_segment(a, b, p) -> bool:
+    if abs(_cross(a, b, p)) > 1e-12:
+        return False
+    return (
+        min(a[0], b[0]) <= p[0] <= max(a[0], b[0])
+        and min(a[1], b[1]) <= p[1] <= max(a[1], b[1])
+    )

@@ -1,0 +1,111 @@
+"""Polylines: the exact geometry of street, river and railway objects.
+
+TIGER/Line records are chains of coordinate pairs; a street object of the
+paper's *map 1* and the linear features of *map 2* are therefore modelled as
+polylines.  The refinement step of a spatial join tests two polylines for
+intersection using their segments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .rect import Rect
+from .segment import Segment, on_segment, orientation
+
+__all__ = ["Polyline"]
+
+
+class Polyline:
+    """An open chain of straight segments through ``points``."""
+
+    __slots__ = ("points", "_mbr")
+
+    def __init__(self, points: Sequence[tuple[float, float]]):
+        pts = [(float(x), float(y)) for x, y in points]
+        if len(pts) < 2:
+            raise ValueError("a polyline needs at least two points")
+        self.points = pts
+        self._mbr = Rect.from_points(pts)
+
+    @property
+    def mbr(self) -> Rect:
+        return self._mbr
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def num_segments(self) -> int:
+        return len(self.points) - 1
+
+    def segments(self) -> Iterable[Segment]:
+        pts = self.points
+        for i in range(len(pts) - 1):
+            ax, ay = pts[i]
+            bx, by = pts[i + 1]
+            yield Segment(ax, ay, bx, by)
+
+    def length(self) -> float:
+        total = 0.0
+        pts = self.points
+        for i in range(len(pts) - 1):
+            dx = pts[i + 1][0] - pts[i][0]
+            dy = pts[i + 1][1] - pts[i][1]
+            total += (dx * dx + dy * dy) ** 0.5
+        return total
+
+    def intersects(self, other: "Polyline") -> bool:
+        """Exact polyline intersection: any pair of segments intersects.
+
+        A plane-sweep over segment x-intervals, in the same no-extra-
+        structure style the paper uses for rectangles (section 2.2): both
+        segment lists are sorted by their lower x-coordinate, and each
+        segment is only tested against segments whose x-interval reaches it.
+        This mirrors the cost profile the paper assumes for the exact test
+        ([BKSS 94]: "assuming a plane-sweep algorithm used for the
+        intersection test").
+        """
+        if not self._mbr.intersects(other._mbr):
+            return False
+        mine = sorted(self.segments(), key=_seg_xl)
+        theirs = sorted(other.segments(), key=_seg_xl)
+        i = j = 0
+        n, m = len(mine), len(theirs)
+        while i < n and j < m:
+            a = mine[i]
+            b = theirs[j]
+            if _seg_xl(a) <= _seg_xl(b):
+                xu = max(a.ax, a.bx)
+                k = j
+                while k < m and _seg_xl(theirs[k]) <= xu:
+                    if a.intersects(theirs[k]):
+                        return True
+                    k += 1
+                i += 1
+            else:
+                xu = max(b.ax, b.bx)
+                k = i
+                while k < n and _seg_xl(mine[k]) <= xu:
+                    if b.intersects(mine[k]):
+                        return True
+                    k += 1
+                j += 1
+        return False
+
+    def intersects_brute(self, other: "Polyline") -> bool:
+        """Quadratic reference implementation of :meth:`intersects`."""
+        if not self._mbr.intersects(other._mbr):
+            return False
+        others = list(other.segments())
+        for a in self.segments():
+            for b in others:
+                if a.intersects(b):
+                    return True
+        return False
+
+    def __repr__(self) -> str:
+        return f"Polyline({len(self.points)} points, mbr={self._mbr!r})"
+
+
+def _seg_xl(s: Segment) -> float:
+    return s.ax if s.ax < s.bx else s.bx

@@ -1,0 +1,118 @@
+"""Line segments and the exact intersection predicates built on them.
+
+These are the primitives of the *refinement step*: once the filter step has
+produced candidate pairs of MBRs, the exact geometry (polylines built from
+segments, polygons) decides whether a candidate is an answer or a false hit.
+The predicates use the standard orientation-based formulation from
+computational geometry [PS 85] with exact handling of collinear cases.
+"""
+
+from __future__ import annotations
+
+from .rect import Rect
+
+__all__ = ["orientation", "on_segment", "Segment"]
+
+
+def orientation(ax: float, ay: float, bx: float, by: float, cx: float, cy: float) -> int:
+    """Orientation of the ordered triple ``a, b, c``.
+
+    Returns ``1`` for counter-clockwise, ``-1`` for clockwise and ``0`` for
+    collinear points.
+    """
+    cross = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+    if cross > 0.0:
+        return 1
+    if cross < 0.0:
+        return -1
+    return 0
+
+
+def on_segment(ax: float, ay: float, bx: float, by: float, px: float, py: float) -> bool:
+    """True when point ``p`` lies on the closed segment ``a-b``.
+
+    The caller must already know that ``a, b, p`` are collinear.
+    """
+    return (
+        min(ax, bx) <= px <= max(ax, bx)
+        and min(ay, by) <= py <= max(ay, by)
+    )
+
+
+class Segment:
+    """A closed line segment between two points."""
+
+    __slots__ = ("ax", "ay", "bx", "by")
+
+    def __init__(self, ax: float, ay: float, bx: float, by: float):
+        self.ax = float(ax)
+        self.ay = float(ay)
+        self.bx = float(bx)
+        self.by = float(by)
+
+    @classmethod
+    def from_points(cls, a: tuple[float, float], b: tuple[float, float]) -> "Segment":
+        return cls(a[0], a[1], b[0], b[1])
+
+    def mbr(self) -> Rect:
+        return Rect(
+            min(self.ax, self.bx),
+            min(self.ay, self.by),
+            max(self.ax, self.bx),
+            max(self.ay, self.by),
+        )
+
+    def length(self) -> float:
+        dx = self.bx - self.ax
+        dy = self.by - self.ay
+        return (dx * dx + dy * dy) ** 0.5
+
+    def intersects(self, other: "Segment") -> bool:
+        """Exact closed-segment intersection test (touching counts).
+
+        Standard four-orientation test with the collinear special cases,
+        preceded by a cheap bounding-box reject.
+        """
+        # Bounding-box reject: essential because polyline intersection calls
+        # this for many segment pairs.
+        if (
+            max(self.ax, self.bx) < min(other.ax, other.bx)
+            or max(other.ax, other.bx) < min(self.ax, self.bx)
+            or max(self.ay, self.by) < min(other.ay, other.by)
+            or max(other.ay, other.by) < min(self.ay, self.by)
+        ):
+            return False
+
+        o1 = orientation(self.ax, self.ay, self.bx, self.by, other.ax, other.ay)
+        o2 = orientation(self.ax, self.ay, self.bx, self.by, other.bx, other.by)
+        o3 = orientation(other.ax, other.ay, other.bx, other.by, self.ax, self.ay)
+        o4 = orientation(other.ax, other.ay, other.bx, other.by, self.bx, self.by)
+
+        if o1 != o2 and o3 != o4:
+            return True
+        # Collinear endpoint-on-segment cases.
+        if o1 == 0 and on_segment(self.ax, self.ay, self.bx, self.by, other.ax, other.ay):
+            return True
+        if o2 == 0 and on_segment(self.ax, self.ay, self.bx, self.by, other.bx, other.by):
+            return True
+        if o3 == 0 and on_segment(other.ax, other.ay, other.bx, other.by, self.ax, self.ay):
+            return True
+        if o4 == 0 and on_segment(other.ax, other.ay, other.bx, other.by, self.bx, self.by):
+            return True
+        return False
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Segment):
+            return NotImplemented
+        return (self.ax, self.ay, self.bx, self.by) == (
+            other.ax,
+            other.ay,
+            other.bx,
+            other.by,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.ax, self.ay, self.bx, self.by))
+
+    def __repr__(self) -> str:
+        return f"Segment(({self.ax:g}, {self.ay:g}) -> ({self.bx:g}, {self.by:g}))"

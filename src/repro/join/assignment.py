@@ -1,0 +1,98 @@
+"""Task assignment — phase 2 of the parallel join (sections 3.1 and 3.3).
+
+Three schemes from the paper, each paired with its buffer organisation in
+the evaluation's named variants:
+
+* ``lsr``  — **static range** assignment + local buffers: contiguous runs
+  of the plane-sweep-ordered task list per processor, keeping each
+  processor's pages spatially adjacent (good for private LRU buffers);
+* ``gsrr`` — **static round-robin** assignment + global buffer: deals
+  tasks like cards so spatially adjacent tasks land on *different*
+  processors and are processed at roughly the same time — raising the
+  chance that a needed page already sits in someone's buffer;
+* ``gd``   — **dynamic** assignment + global buffer: a shared FCFS task
+  queue; processors fetch the next task when they finish the previous one
+  (the queue itself lives in :mod:`repro.join.parallel`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .tasks import Task
+
+__all__ = [
+    "BufferMode",
+    "AssignmentMode",
+    "JoinVariant",
+    "LSR",
+    "GSRR",
+    "GD",
+    "static_range_assignment",
+    "static_round_robin_assignment",
+]
+
+
+class BufferMode(enum.Enum):
+    LOCAL = "local"
+    GLOBAL = "global"
+
+
+class AssignmentMode(enum.Enum):
+    STATIC_RANGE = "static range"
+    STATIC_ROUND_ROBIN = "static round-robin"
+    DYNAMIC = "dynamic"
+
+
+@dataclass(frozen=True)
+class JoinVariant:
+    """A buffer organisation plus an assignment scheme."""
+
+    buffer: BufferMode
+    assignment: AssignmentMode
+
+    @property
+    def short_name(self) -> str:
+        names = {
+            (BufferMode.LOCAL, AssignmentMode.STATIC_RANGE): "lsr",
+            (BufferMode.GLOBAL, AssignmentMode.STATIC_ROUND_ROBIN): "gsrr",
+            (BufferMode.GLOBAL, AssignmentMode.DYNAMIC): "gd",
+        }
+        return names.get(
+            (self.buffer, self.assignment),
+            f"{self.buffer.value[0]}{self.assignment.value[0]}",
+        )
+
+
+#: The three variants compared in section 4.3.
+LSR = JoinVariant(BufferMode.LOCAL, AssignmentMode.STATIC_RANGE)
+GSRR = JoinVariant(BufferMode.GLOBAL, AssignmentMode.STATIC_ROUND_ROBIN)
+GD = JoinVariant(BufferMode.GLOBAL, AssignmentMode.DYNAMIC)
+
+
+def static_range_assignment(tasks: list[Task], n: int) -> list[list[Task]]:
+    """Contiguous plane-sweep runs: "the first m modulo n processors
+    receive ceil(m/n) pairs of subtrees according to the order, whereas the
+    others receive floor(m/n) pairs" (section 3.1)."""
+    if n < 1:
+        raise ValueError("need at least one processor")
+    m = len(tasks)
+    base, extra = divmod(m, n)
+    workloads: list[list[Task]] = []
+    start = 0
+    for p in range(n):
+        size = base + (1 if p < extra else 0)
+        workloads.append(tasks[start : start + size])
+        start += size
+    return workloads
+
+
+def static_round_robin_assignment(tasks: list[Task], n: int) -> list[list[Task]]:
+    """Deal tasks round-robin in plane-sweep order (section 3.3)."""
+    if n < 1:
+        raise ValueError("need at least one processor")
+    workloads: list[list[Task]] = [[] for _ in range(n)]
+    for index, task in enumerate(tasks):
+        workloads[index % n].append(task)
+    return workloads

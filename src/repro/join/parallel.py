@@ -1,0 +1,347 @@
+"""Parallel spatial join on the simulated SVM machine (paper section 3).
+
+One :func:`parallel_spatial_join` call runs the complete three-phase
+algorithm for a given configuration:
+
+1. **task creation** — pairs of intersecting root entries in local
+   plane-sweep order (descending a level when too few, section 3.1);
+2. **task assignment** — static range (``lsr``), static round-robin
+   (``gsrr``) or dynamic via a shared FCFS queue (``gd``);
+3. **parallel task execution** — every simulated processor runs the real
+   BKS93 depth-first join on its pairs of subtrees, with page accesses
+   going through its path buffers and local LRU buffer, optionally the SVM
+   global buffer, and the shared disk array;
+
+plus the **task reassignment** of section 3.4: idle processors steal the
+highest-level pending pairs from a victim chosen by policy, buddying up
+with it for subsequent steals.
+
+Everything the paper measures falls out: exact disk-access counts,
+per-processor finish times (response time = the last one), total busy
+time, reassignment counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from ..buffer.global_buffer import GlobalDirectory
+from ..buffer.local import ProcessorBufferManager
+from ..geometry.planesweep import restrict_to_window, sweep_pairs
+from ..rtree.pagestore import PageStore
+from ..rtree.rstar import RStarTree
+from ..sim.engine import Environment
+from ..sim.machine import KSR1_CONFIG, Machine, MachineConfig
+from ..sim.metrics import ProcessorTimes
+from ..sim.resources import Store
+from ..storage.disk import DEFAULT_DISK, DiskParams
+from ..storage.diskarray import DiskArray
+from .assignment import (
+    GD,
+    AssignmentMode,
+    BufferMode,
+    JoinVariant,
+    static_range_assignment,
+    static_round_robin_assignment,
+)
+from .reassign import ReassignmentPolicy, VictimChoice, Workload
+from .refinement import RefinementModel
+from .result import ParallelJoinResult
+from .tasks import PairWindow, create_tasks
+
+__all__ = ["ParallelJoinConfig", "parallel_spatial_join", "prepare_trees"]
+
+
+@dataclass(frozen=True)
+class ParallelJoinConfig:
+    """Everything that parametrises one experiment run."""
+
+    processors: int = 8
+    disks: int = 8
+    #: Total LRU buffer size in pages, split evenly over the processors
+    #: (the paper's Figure 5 x-axis).
+    total_buffer_pages: int = 800
+    variant: JoinVariant = GD
+    reassignment: ReassignmentPolicy = field(default_factory=ReassignmentPolicy)
+    machine: MachineConfig = KSR1_CONFIG
+    disk_params: DiskParams = DEFAULT_DISK
+    #: None disables the simulated refinement step (pure filter timing).
+    refinement: Optional[RefinementModel] = field(default_factory=RefinementModel)
+    #: Task creation descends a level while tasks < min_tasks_factor * n.
+    min_tasks_factor: int = 1
+    #: How long an idle processor waits before re-checking for stealable
+    #: work (only relevant while others are still busy).
+    idle_retry: float = 5e-3
+    #: Ablation hook: when set, the plane-sweep task order of phase 1 is
+    #: destroyed by shuffling with this seed — quantifies how much the
+    #: paper's spatial-locality-preserving order is worth.
+    shuffle_tasks_seed: Optional[int] = None
+
+
+def prepare_trees(tree_r: RStarTree, tree_s: RStarTree) -> PageStore:
+    """Sort all node entries by xl (the paper keeps node entries in
+    plane-sweep order) and paginate both trees onto one page space.
+
+    A self-join (``tree_r is tree_s``) paginates the tree once and aliases
+    it as both join inputs, so every page exists — and is charged — once.
+    """
+    page_store = PageStore()
+    for node in tree_r.nodes():
+        node.sort_entries_by_xl()
+    page_store.add_tree(0, tree_r)
+    if tree_s is tree_r:
+        page_store.alias_tree(1, 0)
+        return page_store
+    for node in tree_s.nodes():
+        node.sort_entries_by_xl()
+    page_store.add_tree(1, tree_s)
+    return page_store
+
+
+def parallel_spatial_join(
+    tree_r: RStarTree,
+    tree_s: RStarTree,
+    config: ParallelJoinConfig,
+    page_store: Optional[PageStore] = None,
+) -> ParallelJoinResult:
+    """Run one parallel spatial join and return its measurements.
+
+    ``page_store`` may be passed when the trees were already prepared by
+    :func:`prepare_trees` (sharing it across runs avoids re-sorting;
+    buffers always start cold regardless).
+    """
+    run = _JoinRun(tree_r, tree_s, config, page_store)
+    return run.execute()
+
+
+class _JoinRun:
+    """State of one simulation run (one processor process per CPU)."""
+
+    def __init__(
+        self,
+        tree_r: RStarTree,
+        tree_s: RStarTree,
+        config: ParallelJoinConfig,
+        page_store: Optional[PageStore],
+    ):
+        if config.processors < 1:
+            raise ValueError("need at least one processor")
+        self.config = config
+        self.env = Environment()
+        self.machine = Machine(self.env, config.machine)
+        self.metrics = self.machine.metrics
+        self.disks = DiskArray(
+            self.env, config.disks, config.disk_params, self.metrics
+        )
+        self.store = page_store or prepare_trees(tree_r, tree_s)
+        n = config.processors
+        directory = (
+            GlobalDirectory(self.machine)
+            if config.variant.buffer is BufferMode.GLOBAL
+            else None
+        )
+        per_processor_pages = max(1, config.total_buffer_pages // n)
+        heights = self.store.tree_heights()
+        self.managers = [
+            ProcessorBufferManager(
+                proc_id=p,
+                machine=self.machine,
+                disk_array=self.disks,
+                lru_capacity=per_processor_pages,
+                tree_heights=heights,
+                directory=directory,
+            )
+            for p in range(n)
+        ]
+
+        # Phase 1: task creation (sequential; CPU share negligible per
+        # section 4.5, and the root pages it touches are re-read through
+        # the buffers during execution).
+        tasks = create_tasks(
+            tree_r, tree_s, min_tasks=max(1, n * config.min_tasks_factor)
+        )
+        if config.shuffle_tasks_seed is not None:
+            import random as _random
+
+            _random.Random(config.shuffle_tasks_seed).shuffle(tasks)
+        self.tasks_created = len(tasks)
+        self.task_level = tasks[0].level if tasks else 0
+        self.workloads = [Workload(self.task_level) for _ in range(n)]
+        self.tasks_by_processor = [0] * n
+        self.queue: Optional[Store] = None
+
+        # Phase 2: task assignment.
+        mode = config.variant.assignment
+        if mode is AssignmentMode.DYNAMIC:
+            self.queue = Store(self.env, name="task-queue")
+            for task in tasks:
+                self.queue.put(task)
+            self.queue.close()
+        else:
+            if mode is AssignmentMode.STATIC_RANGE:
+                split = static_range_assignment(tasks, n)
+            else:
+                split = static_round_robin_assignment(tasks, n)
+            for p, chunk in enumerate(split):
+                self.tasks_by_processor[p] = len(chunk)
+                for task in chunk:
+                    self.workloads[p].push_task(task.node_r, task.node_s)
+
+        # Shared run state.
+        self.times = ProcessorTimes(n)
+        self.idle = [False] * n
+        self.finished = [False] * n
+        self.buddies: list[Optional[int]] = [None] * n
+        self.rng = config.reassignment.make_rng()
+        self.pairs_by_processor: list[list] = [[] for _ in range(n)]
+        self.reassignments = 0
+
+    # ------------------------------------------------------------------ run
+    def execute(self) -> ParallelJoinResult:
+        for p in range(self.config.processors):
+            self.env.process(self._processor(p), name=f"P{p}")
+        self.env.run()
+        return ParallelJoinResult(
+            pairs_by_processor=self.pairs_by_processor,
+            metrics=self.metrics,
+            times=self.times,
+            tasks_created=self.tasks_created,
+            task_level=self.task_level,
+            tasks_by_processor=self.tasks_by_processor,
+            reassignments=self.reassignments,
+        )
+
+    # -------------------------------------------------------- processor loop
+    def _processor(self, p: int) -> Generator:
+        workload = self.workloads[p]
+        while True:
+            item = workload.pop_deepest()
+            if item is None:
+                self.idle[p] = True
+                got_work = yield from self._acquire_work(p)
+                if not got_work:
+                    break
+                self.idle[p] = False
+                continue
+            _, node_r, node_s = item
+            started = self.env.now
+            yield from self._process_pair(p, node_r, node_s)
+            self.times.busy[p] += self.env.now - started
+            # Response time is defined by the last processor *computing*
+            # (section 4.5); idle waiting at the very end does not count.
+            self.times.finish[p] = self.env.now
+        self.finished[p] = True
+
+    def _process_pair(self, p: int, node_r, node_s) -> Generator:
+        """Execute the sequential join step for one qualifying node pair."""
+        config = self.config
+        manager = self.managers[p]
+        store = self.store
+        yield from manager.access(
+            0, store.depth(0, node_r), node_r.page_id, store.kind(node_r.page_id)
+        )
+        yield from manager.access(
+            1, store.depth(1, node_s), node_s.page_id, store.kind(node_s.page_id)
+        )
+        window = PairWindow(node_r, node_s)
+        if window.empty:
+            return
+        entries_r = restrict_to_window(node_r.entries, window)
+        entries_s = restrict_to_window(node_s.entries, window)
+        sweep = sweep_pairs(entries_r, entries_s)
+        tests = sweep.tests + len(node_r.entries) + len(node_s.entries)
+        self.metrics.add("intersection_tests", tests)
+        cpu_time = tests * config.machine.cpu_rect_test_time
+        if cpu_time > 0:
+            yield self.env.timeout(cpu_time)
+        if node_r.is_leaf:
+            my_pairs = self.pairs_by_processor[p]
+            refine_time = 0.0
+            for er, es in sweep.pairs:
+                my_pairs.append((er.oid, es.oid))
+                if config.refinement is not None:
+                    refine_time += config.refinement.cost(er, es)
+            self.metrics.add("candidates", len(sweep.pairs))
+            if refine_time > 0:
+                # The same processor that found the candidates refines
+                # them (section 3's distribution principle); the exact
+                # geometry came along with the data pages (section 4.2).
+                yield self.env.timeout(refine_time)
+        else:
+            workload = self.workloads[p]
+            child_level = node_r.level - 1
+            for er, es in sweep.pairs:
+                workload.push_pair(child_level, er.child, es.child)
+
+    # ------------------------------------------------------ work acquisition
+    def _acquire_work(self, p: int) -> Generator:
+        """Idle processor: dynamic queue first, then task reassignment.
+
+        Returns True when new work landed in the processor's workload,
+        False when the join is globally complete.
+        """
+        config = self.config
+        policy = config.reassignment
+        while True:
+            if self.queue is not None and not (
+                self.queue.closed and len(self.queue) == 0
+            ):
+                yield self.env.timeout(config.machine.sync_time)
+                task = yield self.queue.get()
+                if task is not None:
+                    self.workloads[p].push_task(task.node_r, task.node_s)
+                    self.tasks_by_processor[p] += 1
+                    self.metrics.add("queue_fetches")
+                    return True
+            if policy.enabled:
+                victim = self._pick_victim(p)
+                if victim is not None:
+                    level = self.workloads[victim].stealable_level(policy.level, policy.min_pairs)
+                    stolen = self.workloads[victim].steal_from(level)
+                    if stolen:
+                        yield self.env.timeout(config.machine.reassign_overhead)
+                        for node_r, node_s in stolen:
+                            self.workloads[p].push_pair(level, node_r, node_s)
+                        self.buddies[p] = victim
+                        self.buddies[victim] = p
+                        self.reassignments += 1
+                        self.metrics.add("reassignments")
+                        self.metrics.add("pairs_reassigned", len(stolen))
+                        return True
+                if not self._join_finished():
+                    # Others are still busy and may produce stealable
+                    # pairs; check again shortly (the "waiting periods"
+                    # the paper observes in the final phase).
+                    yield self.env.timeout(config.idle_retry)
+                    continue
+            return False
+
+    def _pick_victim(self, p: int) -> Optional[int]:
+        policy = self.config.reassignment
+        candidates = [
+            q
+            for q in range(self.config.processors)
+            if q != p and self.workloads[q].stealable_level(policy.level, policy.min_pairs) is not None
+        ]
+        if not candidates:
+            return None
+        buddy = self.buddies[p]
+        if buddy in candidates:
+            return buddy
+        if policy.victim is VictimChoice.ARBITRARY:
+            return self.rng.choice(candidates)
+        # Highest expected workload: highest level with pending pairs
+        # (hl), most pairs there (ns) — the (hl, ns) report of section 3.4.
+        return max(candidates, key=lambda q: self.workloads[q].highest_pending())
+
+    def _join_finished(self) -> bool:
+        """No task, pending pair or busy processor left anywhere."""
+        if self.queue is not None and len(self.queue) > 0:
+            return False
+        for q in range(self.config.processors):
+            if not self.workloads[q].empty:
+                return False
+            if not self.idle[q] and not self.finished[q]:
+                return False
+        return True

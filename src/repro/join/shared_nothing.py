@@ -1,0 +1,323 @@
+"""Shared-nothing parallel spatial join (the paper's future work, section 5).
+
+The paper closes with: "In our future work, we are particularly interested
+in a distributed spatial join processing using a shared-nothing
+architecture ... In contrast to the SVM-model, in a shared-nothing
+architecture the assignment of the data to the different disks is of
+special interest."  This module builds that system:
+
+* every processor owns a **private disk** and a **private buffer**; there
+  is no shared memory and no global buffer directory;
+* pages are **declustered** over the owners — either *round-robin* (page
+  number modulo n, the paper's spatially-blind placement) or *spatial*
+  (contiguous runs of the spatially ordered pages per tree, so each
+  processor owns a region of the map);
+* a processor missing a page it does not own sends a **message** to the
+  owner, whose disk/buffer services it; the reply ships the page over a
+  shared interconnect (latency + bandwidth model, ATM-class defaults);
+  remote pages are **cached locally** — replication instead of the SVM's
+  at-most-once invariant;
+* tasks are assigned statically (range or round-robin) or dynamically
+  through a **coordinator** at processor 0, each fetch paying a message
+  round trip.
+
+The interesting trade-off — measurable with the bench — is placement ×
+assignment: spatial placement with the range assignment keeps accesses
+local but concentrates load; round-robin placement spreads disk load but
+turns most accesses into network traffic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from ..buffer.lru import LRUBuffer
+from ..buffer.path_buffer import PathBuffer
+from ..rtree.pagestore import PageStore
+from ..rtree.rstar import RStarTree
+from ..sim.engine import Environment
+from ..sim.machine import KSR1_CONFIG, Machine, MachineConfig
+from ..sim.metrics import ProcessorTimes
+from ..sim.resources import Resource, Store
+from ..storage.disk import DEFAULT_DISK, DiskParams
+from ..storage.page import PageKind
+from .assignment import (
+    AssignmentMode,
+    static_range_assignment,
+    static_round_robin_assignment,
+)
+from .parallel import prepare_trees
+from .refinement import RefinementModel
+from .result import ParallelJoinResult
+from .tasks import PairWindow, create_tasks
+from ..geometry.planesweep import restrict_to_window, sweep_pairs
+from ..sim.metrics import Metrics
+
+__all__ = [
+    "Placement",
+    "NetworkParams",
+    "SharedNothingConfig",
+    "shared_nothing_join",
+]
+
+
+class Placement(enum.Enum):
+    """How pages are declustered over the node-private disks."""
+
+    ROUND_ROBIN = "round-robin"
+    SPATIAL = "spatial"
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Message-passing interconnect (workstation-cluster / ATM class)."""
+
+    #: One-way message latency in seconds.
+    latency: float = 0.5e-3
+    #: Payload bandwidth in MB/s (ATM-622 style default).
+    bandwidth_mb_per_s: float = 16.0
+    page_size: int = 4096
+
+    @property
+    def page_transfer_time(self) -> float:
+        return self.page_size / (self.bandwidth_mb_per_s * 1024 * 1024)
+
+    @property
+    def request_round_trip(self) -> float:
+        """Request message out, reply with page back."""
+        return 2 * self.latency + self.page_transfer_time
+
+    @property
+    def control_round_trip(self) -> float:
+        """Request/notification without a page payload (task fetches)."""
+        return 2 * self.latency
+
+
+@dataclass(frozen=True)
+class SharedNothingConfig:
+    """One shared-nothing experiment run."""
+
+    processors: int = 8
+    #: Private buffer pages per processor.
+    buffer_pages_per_processor: int = 100
+    placement: Placement = Placement.SPATIAL
+    assignment: AssignmentMode = AssignmentMode.STATIC_RANGE
+    machine: MachineConfig = KSR1_CONFIG
+    disk_params: DiskParams = DEFAULT_DISK
+    network: NetworkParams = field(default_factory=NetworkParams)
+    refinement: Optional[RefinementModel] = field(default_factory=RefinementModel)
+    min_tasks_factor: int = 1
+
+
+def shared_nothing_join(
+    tree_r: RStarTree,
+    tree_s: RStarTree,
+    config: SharedNothingConfig,
+    page_store: Optional[PageStore] = None,
+) -> ParallelJoinResult:
+    """Run the spatial join on the shared-nothing cluster model."""
+    run = _SharedNothingRun(tree_r, tree_s, config, page_store)
+    return run.execute()
+
+
+class _SharedNothingRun:
+    def __init__(
+        self,
+        tree_r: RStarTree,
+        tree_s: RStarTree,
+        config: SharedNothingConfig,
+        page_store: Optional[PageStore],
+    ):
+        if config.processors < 1:
+            raise ValueError("need at least one processor")
+        self.config = config
+        self.env = Environment()
+        self.machine = Machine(self.env, config.machine)
+        self.metrics: Metrics = self.machine.metrics
+        self.store = page_store or prepare_trees(tree_r, tree_s)
+        n = config.processors
+
+        # One private disk per node; one shared interconnect.
+        self.disks = [Resource(self.env, 1, name=f"disk@{p}") for p in range(n)]
+        self.network = Resource(self.env, 1, name="interconnect")
+
+        # Private buffers.
+        heights = self.store.tree_heights()
+        self.lru = [LRUBuffer(max(1, config.buffer_pages_per_processor)) for _ in range(n)]
+        self.paths = [
+            {tree_id: PathBuffer(height) for tree_id, height in heights.items()}
+            for _ in range(n)
+        ]
+
+        # Data placement.
+        self.owner = self._place_pages(tree_r, tree_s, n)
+
+        # Tasks & assignment.
+        tasks = create_tasks(tree_r, tree_s, min_tasks=max(1, n * config.min_tasks_factor))
+        self.tasks_created = len(tasks)
+        self.task_level = tasks[0].level if tasks else 0
+        self.local_tasks: list[list] = [[] for _ in range(n)]
+        self.queue: Optional[Store] = None
+        if config.assignment is AssignmentMode.DYNAMIC:
+            self.queue = Store(self.env, name="coordinator-queue")
+            for task in tasks:
+                self.queue.put(task)
+            self.queue.close()
+            self.tasks_by_processor = [0] * n
+        else:
+            if config.assignment is AssignmentMode.STATIC_RANGE:
+                split = static_range_assignment(tasks, n)
+            else:
+                split = static_round_robin_assignment(tasks, n)
+            for p, chunk in enumerate(split):
+                self.local_tasks[p] = list(chunk)
+            self.tasks_by_processor = [len(c) for c in self.local_tasks]
+
+        self.times = ProcessorTimes(n)
+        self.pairs_by_processor: list[list] = [[] for _ in range(n)]
+
+    def _place_pages(self, tree_r, tree_s, n: int) -> dict[int, int]:
+        """page id → owning node, per the configured placement."""
+        owner: dict[int, int] = {}
+        if self.config.placement is Placement.ROUND_ROBIN:
+            for page in self.store.pages():
+                owner[page] = page % n
+            return owner
+        # Spatial: contiguous runs of each tree's (spatially ordered) pages.
+        for tree in (tree_r, tree_s):
+            pages = [node.page_id for node in tree.nodes()]
+            total = len(pages)
+            for index, page in enumerate(pages):
+                owner[page] = min(n - 1, index * n // total)
+        return owner
+
+    # --------------------------------------------------------------- access
+    def access(self, p: int, tree_id: int, node) -> Generator:
+        """Obtain one page: path buffer, own LRU, owner's node, own disk."""
+        page_id = node.page_id
+        path_buffer = self.paths[p][tree_id]
+        if path_buffer.contains(page_id):
+            self.metrics.add("path_hits")
+            return
+        level = self.store.depth(tree_id, node)
+        if self.lru[p].touch(page_id):
+            self.metrics.add("lru_hits")
+            yield self.env.timeout(self.config.machine.local_page_access_time)
+            path_buffer.record(level, page_id)
+            return
+        owner = self.owner[page_id]
+        kind = self.store.kind(page_id)
+        if owner == p:
+            yield from self._read_own_disk(p, page_id, kind)
+        else:
+            yield from self._fetch_remote(p, owner, page_id, kind)
+        self.lru[p].insert(page_id)
+        path_buffer.record(level, page_id)
+
+    def _read_own_disk(self, p: int, page_id: int, kind: PageKind) -> Generator:
+        disk = self.disks[p]
+        yield disk.acquire()
+        try:
+            yield self.env.timeout(self.config.disk_params.service_time(kind))
+        finally:
+            disk.release()
+        self.metrics.record_disk_read(p)
+
+    def _fetch_remote(self, p: int, owner: int, page_id: int, kind: PageKind) -> Generator:
+        """Message to *owner*; owner serves from its buffer or its disk."""
+        network = self.network
+        params = self.config.network
+        # Request message.
+        yield network.acquire()
+        try:
+            yield self.env.timeout(params.latency)
+        finally:
+            network.release()
+        # Owner side: buffer hit or disk read at the owner's disk.
+        if self.lru[owner].touch(page_id):
+            self.metrics.add("owner_buffer_hits")
+            yield self.env.timeout(self.config.machine.local_page_access_time)
+        else:
+            yield from self._read_own_disk(owner, page_id, kind)
+            self.lru[owner].insert(page_id)
+        # Reply carrying the page.
+        yield network.acquire()
+        try:
+            yield self.env.timeout(params.latency + params.page_transfer_time)
+        finally:
+            network.release()
+        self.metrics.add("remote_fetches")
+
+    # -------------------------------------------------------------- execute
+    def execute(self) -> ParallelJoinResult:
+        for p in range(self.config.processors):
+            self.env.process(self._processor(p), name=f"SN{p}")
+        self.env.run()
+        return ParallelJoinResult(
+            pairs_by_processor=self.pairs_by_processor,
+            metrics=self.metrics,
+            times=self.times,
+            tasks_created=self.tasks_created,
+            task_level=self.task_level,
+            tasks_by_processor=self.tasks_by_processor,
+        )
+
+    def _processor(self, p: int) -> Generator:
+        stack: list = []
+        while True:
+            if not stack:
+                task = yield from self._next_task(p)
+                if task is None:
+                    break
+                stack.append((task.node_r, task.node_s))
+            started = self.env.now
+            while stack:
+                node_r, node_s = stack.pop()
+                children = yield from self._process_pair(p, node_r, node_s)
+                stack.extend(reversed(children))
+            self.times.busy[p] += self.env.now - started
+            self.times.finish[p] = self.env.now
+
+    def _next_task(self, p: int):
+        if self.queue is None:
+            if self.local_tasks[p]:
+                return self.local_tasks[p].pop(0)
+            return None
+        # Dynamic: ask the coordinator (processor 0) for the next task.
+        if p != 0:
+            yield self.env.timeout(self.config.network.control_round_trip)
+        task = yield self.queue.get()
+        if task is not None:
+            self.tasks_by_processor[p] += 1
+            self.metrics.add("queue_fetches")
+        return task
+
+    def _process_pair(self, p: int, node_r, node_s) -> Generator:
+        config = self.config
+        yield from self.access(p, 0, node_r)
+        yield from self.access(p, 1, node_s)
+        window = PairWindow(node_r, node_s)
+        if window.empty:
+            return []
+        entries_r = restrict_to_window(node_r.entries, window)
+        entries_s = restrict_to_window(node_s.entries, window)
+        sweep = sweep_pairs(entries_r, entries_s)
+        tests = sweep.tests + len(node_r.entries) + len(node_s.entries)
+        self.metrics.add("intersection_tests", tests)
+        cpu = tests * config.machine.cpu_rect_test_time
+        if cpu > 0:
+            yield self.env.timeout(cpu)
+        if node_r.is_leaf:
+            pairs = self.pairs_by_processor[p]
+            refine_time = 0.0
+            for er, es in sweep.pairs:
+                pairs.append((er.oid, es.oid))
+                if config.refinement is not None:
+                    refine_time += config.refinement.cost(er, es)
+            self.metrics.add("candidates", len(sweep.pairs))
+            if refine_time > 0:
+                yield self.env.timeout(refine_time)
+            return []
+        return [(er.child, es.child) for er, es in sweep.pairs]

@@ -1,0 +1,130 @@
+"""Task creation — phase 1 of the parallel join (section 3.1).
+
+A task is a pair of subtrees (one of each R*-tree) whose root MBRs
+intersect.  The m intersecting pairs of root entries are computed with the
+node-level plane sweep, so the produced task sequence is already in *local
+plane-sweep order* — the order both static assignments and the dynamic
+queue hand tasks out in.
+
+When m is not "much larger" than the number of processors, the paper
+descends one directory level and uses the pairs of the next level as
+tasks; :func:`create_tasks` repeats that until the task count reaches
+``min_tasks`` or the leaf level is hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry.planesweep import restrict_to_window, sweep_pairs
+from ..rtree.node import Node
+from ..rtree.rstar import RStarTree
+
+__all__ = ["Task", "PairWindow", "create_tasks", "count_root_tasks", "expand_node_pair"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of parallel work: a pair of subtrees to be joined."""
+
+    node_r: Node
+    node_s: Node
+
+    @property
+    def level(self) -> int:
+        """Tree level of the subtree roots (0 = leaves)."""
+        return self.node_r.level
+
+    @property
+    def sweep_position(self) -> float:
+        """Where the sweep line stops for this pair (for global ordering)."""
+        xl_r = min(e.xl for e in self.node_r.entries)
+        xl_s = min(e.xl for e in self.node_s.entries)
+        return min(xl_r, xl_s)
+
+
+class PairWindow:
+    """MBR intersection of a node pair — the search-space restriction
+    window of [BKS 93] (tuning technique (i))."""
+
+    __slots__ = ("xl", "yl", "xu", "yu", "empty")
+
+    def __init__(self, a: Node, b: Node):
+        a_xl, a_yl, a_xu, a_yu = a.mbr_tuple()
+        b_xl, b_yl, b_xu, b_yu = b.mbr_tuple()
+        self.xl = max(a_xl, b_xl)
+        self.yl = max(a_yl, b_yl)
+        self.xu = min(a_xu, b_xu)
+        self.yu = min(a_yu, b_yu)
+        self.empty = self.xu < self.xl or self.yu < self.yl
+
+
+def expand_node_pair(node_r: Node, node_s: Node) -> list[tuple[Node, Node]]:
+    """Child node pairs of a qualifying directory pair, in plane-sweep
+    order, with search-space restriction applied.
+
+    Entries are re-sorted locally, so the function is correct whether or
+    not the trees were prepared with pre-sorted nodes.
+    """
+    window = PairWindow(node_r, node_s)
+    if window.empty:
+        return []
+    entries_r = sorted(restrict_to_window(node_r.entries, window), key=_entry_xl)
+    entries_s = sorted(restrict_to_window(node_s.entries, window), key=_entry_xl)
+    result = sweep_pairs(entries_r, entries_s)
+    return [(er.child, es.child) for er, es in result.pairs]
+
+
+def _entry_xl(entry) -> float:
+    return entry.xl
+
+
+def create_tasks(
+    tree_r: RStarTree, tree_s: RStarTree, min_tasks: int = 1
+) -> list[Task]:
+    """Phase 1: the task list in local plane-sweep order.
+
+    Starts from the pairs of intersecting root entries; descends one level
+    at a time while there are fewer than *min_tasks* tasks and the nodes
+    are not yet leaves.  Nodes must be kept with entries sorted by ``xl``
+    (see :func:`repro.join.parallel.prepare_trees`).
+    """
+    if tree_r.size == 0 or tree_s.size == 0:
+        return []
+    root_window = PairWindow(tree_r.root, tree_s.root)
+    if root_window.empty:
+        return []
+    if tree_r.height != tree_s.height:
+        raise ValueError(
+            "parallel task creation assumes equally tall trees "
+            f"(got heights {tree_r.height} and {tree_s.height})"
+        )
+    if tree_r.height == 1:
+        return [Task(tree_r.root, tree_s.root)]
+
+    pairs = expand_node_pair(tree_r.root, tree_s.root)
+    while pairs and len(pairs) < min_tasks and not pairs[0][0].is_leaf:
+        descended: list[tuple[Node, Node]] = []
+        for node_r, node_s in pairs:
+            descended.extend(expand_node_pair(node_r, node_s))
+        # Re-establish one global plane-sweep order over all pairs: sort by
+        # the sweep-stop position (the smaller of the two xl coordinates).
+        descended.sort(key=_pair_sweep_position)
+        pairs = descended
+    return [Task(node_r, node_s) for node_r, node_s in pairs]
+
+
+def count_root_tasks(tree_r: RStarTree, tree_s: RStarTree) -> int:
+    """m of the paper's Table 1: intersecting pairs of root entries."""
+    if tree_r.size == 0 or tree_s.size == 0:
+        return 0
+    if tree_r.height == 1 or tree_s.height == 1:
+        window = PairWindow(tree_r.root, tree_s.root)
+        return 0 if window.empty else 1
+    return len(expand_node_pair(tree_r.root, tree_s.root))
+
+
+def _pair_sweep_position(pair: tuple[Node, Node]) -> float:
+    node_r, node_s = pair
+    # Entries are xl-sorted, so the first entry carries the minimum.
+    return min(node_r.entries[0].xl, node_s.entries[0].xl)

@@ -1,0 +1,17 @@
+"""Parallel spatial query processing beyond the join (paper future work)."""
+
+from .parallel import (
+    ParallelQueryConfig,
+    ParallelQueryResult,
+    parallel_knn,
+    parallel_window_query,
+    prepare_tree,
+)
+
+__all__ = [
+    "ParallelQueryConfig",
+    "ParallelQueryResult",
+    "parallel_window_query",
+    "parallel_knn",
+    "prepare_tree",
+]

@@ -1,0 +1,340 @@
+"""The original R-tree of Guttman [Gut 84] — the baseline access method.
+
+The paper builds on R*-trees because [BKS 93] showed them to be the most
+efficient R-tree variant for spatial joins.  To make that design choice
+measurable, this module provides Guttman's original dynamic R-tree with
+both published node-split strategies:
+
+* **quadratic split** — pick the pair of entries that would waste the most
+  area as seeds, then assign the remaining entries by greatest preference
+  difference;
+* **linear split** — pick seeds by the greatest normalised separation per
+  axis, then assign remaining entries by least enlargement.
+
+Insertion uses Guttman's ChooseLeaf (least enlargement, ties by smallest
+area); there is no forced reinsertion and no overlap minimisation — the
+differences to [BKSS 90] that the R*-tree's better join I/O comes from.
+
+The tree shares :class:`~repro.rtree.node.Node` / entry layout, search and
+pagination with the R*-tree, so joins and benches run on either
+interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Optional
+
+from ..geometry.rect import Rect
+from ..storage.page import DEFAULT_STORAGE, StorageParams
+from .entry import Entry
+from .node import Node
+
+__all__ = ["GuttmanRTree"]
+
+
+class GuttmanRTree:
+    """Guttman's R-tree with quadratic (default) or linear splits."""
+
+    def __init__(
+        self,
+        storage: Optional[StorageParams] = None,
+        *,
+        dir_capacity: Optional[int] = None,
+        data_capacity: Optional[int] = None,
+        min_fill: float = 0.4,
+        split: str = "quadratic",
+    ):
+        layout = storage or DEFAULT_STORAGE
+        self.dir_capacity = dir_capacity if dir_capacity is not None else layout.dir_capacity
+        self.data_capacity = (
+            data_capacity if data_capacity is not None else layout.data_capacity
+        )
+        if self.dir_capacity < 4 or self.data_capacity < 4:
+            raise ValueError("node capacities below 4 make splits degenerate")
+        if split not in ("quadratic", "linear"):
+            raise ValueError("split must be 'quadratic' or 'linear'")
+        if not 0.0 < min_fill <= 0.5:
+            raise ValueError("min_fill must be in (0, 0.5]")
+        self.split_strategy = split
+        self.min_dir = max(2, int(self.dir_capacity * min_fill))
+        self.min_data = max(2, int(self.data_capacity * min_fill))
+        self.root = Node(0)
+        self.height = 1
+        self.size = 0
+
+    # -- shared-surface helpers (same interface as RStarTree) ----------------
+    def __len__(self) -> int:
+        return self.size
+
+    def capacity_of(self, node: Node) -> int:
+        return self.data_capacity if node.is_leaf else self.dir_capacity
+
+    def min_fill_of(self, node: Node) -> int:
+        return self.min_data if node.is_leaf else self.min_dir
+
+    # ----------------------------------------------------------------- insert
+    def insert(self, oid: Hashable, rect: Rect) -> None:
+        """Guttman's Insert: ChooseLeaf, add, split upward as needed."""
+        entry = Entry.for_object(rect, oid)
+        path: list[tuple[Node, int]] = []
+        node = self.root
+        while not node.is_leaf:
+            index = self._choose_subtree(node, entry)
+            parent_entry = node.entries[index]
+            parent_entry.extend(entry)
+            path.append((node, index))
+            node = parent_entry.child
+        node.entries.append(entry)
+        self.size += 1
+        self._split_upward(node, path)
+
+    def _choose_subtree(self, node: Node, entry: Entry) -> int:
+        """ChooseLeaf criterion: least enlargement, ties by least area."""
+        best_index = 0
+        best_enlargement = float("inf")
+        best_area = float("inf")
+        for index, candidate in enumerate(node.entries):
+            enlargement = candidate.enlargement(entry)
+            area = candidate.area()
+            if enlargement < best_enlargement or (
+                enlargement == best_enlargement and area < best_area
+            ):
+                best_index = index
+                best_enlargement = enlargement
+                best_area = area
+        return best_index
+
+    def _split_upward(self, node: Node, path: list[tuple[Node, int]]) -> None:
+        while len(node.entries) > self.capacity_of(node):
+            sibling = self._split(node)
+            if not path:
+                new_root = Node(node.level + 1)
+                new_root.entries.append(Entry.for_child(node))
+                new_root.entries.append(Entry.for_child(sibling))
+                self.root = new_root
+                self.height += 1
+                return
+            parent, index = path.pop()
+            xl, yl, xu, yu = node.mbr_tuple()
+            parent.entries[index].set_mbr(xl, yl, xu, yu)
+            parent.entries.append(Entry.for_child(sibling))
+            node = parent
+
+    # ------------------------------------------------------------------ split
+    def _split(self, node: Node) -> Node:
+        entries = node.entries
+        if self.split_strategy == "quadratic":
+            seed_a, seed_b = self._quadratic_seeds(entries)
+        else:
+            seed_a, seed_b = self._linear_seeds(entries)
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        bounds_a = _mbr_of(group_a)
+        bounds_b = _mbr_of(group_b)
+        remaining = [
+            e for i, e in enumerate(entries) if i != seed_a and i != seed_b
+        ]
+        minimum = self.min_fill_of(node)
+
+        while remaining:
+            # Forced assignment when one group must absorb the rest to
+            # reach the minimum fill (Guttman's PickNext loop exit).
+            if len(group_a) + len(remaining) <= minimum:
+                group_a.extend(remaining)
+                remaining = []
+                break
+            if len(group_b) + len(remaining) <= minimum:
+                group_b.extend(remaining)
+                remaining = []
+                break
+            if self.split_strategy == "quadratic":
+                index = self._pick_next(remaining, bounds_a, bounds_b)
+            else:
+                index = 0  # linear split assigns in arbitrary (input) order
+            entry = remaining.pop(index)
+            grow_a = _enlargement(bounds_a, entry)
+            grow_b = _enlargement(bounds_b, entry)
+            if grow_a < grow_b or (
+                grow_a == grow_b
+                and (
+                    _area(bounds_a) < _area(bounds_b)
+                    or (
+                        _area(bounds_a) == _area(bounds_b)
+                        and len(group_a) <= len(group_b)
+                    )
+                )
+            ):
+                group_a.append(entry)
+                bounds_a = _extend(bounds_a, entry)
+            else:
+                group_b.append(entry)
+                bounds_b = _extend(bounds_b, entry)
+
+        node.entries = group_a
+        return Node(node.level, group_b)
+
+    @staticmethod
+    def _quadratic_seeds(entries: list[Entry]) -> tuple[int, int]:
+        """PickSeeds: the pair wasting the most area if grouped together."""
+        worst = -float("inf")
+        seeds = (0, 1)
+        for i in range(len(entries)):
+            e1 = entries[i]
+            for j in range(i + 1, len(entries)):
+                e2 = entries[j]
+                combined = (
+                    (max(e1.xu, e2.xu) - min(e1.xl, e2.xl))
+                    * (max(e1.yu, e2.yu) - min(e1.yl, e2.yl))
+                )
+                waste = combined - e1.area() - e2.area()
+                if waste > worst:
+                    worst = waste
+                    seeds = (i, j)
+        return seeds
+
+    @staticmethod
+    def _linear_seeds(entries: list[Entry]) -> tuple[int, int]:
+        """LinearPickSeeds: greatest normalised separation over both axes."""
+        best = (-float("inf"), 0, 1)
+        for low_key, high_key, min_key, max_key in (
+            (lambda e: e.xl, lambda e: e.xu, lambda e: e.xl, lambda e: e.xu),
+            (lambda e: e.yl, lambda e: e.yu, lambda e: e.yl, lambda e: e.yu),
+        ):
+            highest_low = max(range(len(entries)), key=lambda i: low_key(entries[i]))
+            lowest_high = min(range(len(entries)), key=lambda i: high_key(entries[i]))
+            if highest_low == lowest_high:
+                continue
+            width = max(max_key(e) for e in entries) - min(
+                min_key(e) for e in entries
+            )
+            separation = low_key(entries[highest_low]) - high_key(
+                entries[lowest_high]
+            )
+            normalised = separation / width if width > 0 else 0.0
+            if normalised > best[0]:
+                best = (normalised, lowest_high, highest_low)
+        _, a, b = best
+        if a == b:  # fully overlapping degenerate input
+            b = (a + 1) % len(entries)
+        return (a, b)
+
+    @staticmethod
+    def _pick_next(
+        remaining: list[Entry],
+        bounds_a: tuple[float, float, float, float],
+        bounds_b: tuple[float, float, float, float],
+    ) -> int:
+        """PickNext: the entry with the strongest group preference."""
+        best_index = 0
+        best_difference = -1.0
+        for index, entry in enumerate(remaining):
+            difference = abs(
+                _enlargement(bounds_a, entry) - _enlargement(bounds_b, entry)
+            )
+            if difference > best_difference:
+                best_difference = difference
+                best_index = index
+        return best_index
+
+    # ----------------------------------------------------------------- search
+    def search(self, window: Rect) -> list[Entry]:
+        """All data entries whose MBR intersects *window*."""
+        result: list[Entry] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            for entry in node.entries:
+                if entry.intersects(window):
+                    if node.is_leaf:
+                        result.append(entry)
+                    else:
+                        stack.append(entry.child)
+        return result
+
+    # -------------------------------------------------------------- traversal
+    def nodes(self) -> Iterator[Node]:
+        frontier = [self.root]
+        while frontier:
+            next_frontier: list[Node] = []
+            for node in frontier:
+                yield node
+                if not node.is_leaf:
+                    next_frontier.extend(node.children())
+            frontier = next_frontier
+
+    def mbr(self) -> Rect:
+        xl, yl, xu, yu = self.root.mbr_tuple()
+        return Rect(xl, yl, xu, yu)
+
+    # --------------------------------------------------------------- validate
+    def validate(self) -> None:
+        """Same structural invariants as the R*-tree."""
+        counted = self._validate_node(self.root, self.root.level, is_root=True)
+        assert counted == self.size, f"size {self.size} but {counted} data entries"
+        assert self.height == self.root.level + 1
+
+    def _validate_node(self, node: Node, expected_level: int, is_root: bool) -> int:
+        assert node.level == expected_level
+        assert len(node.entries) <= self.capacity_of(node)
+        if not is_root:
+            assert len(node.entries) >= self.min_fill_of(node)
+        elif not node.is_leaf:
+            assert len(node.entries) >= 2
+        if node.is_leaf:
+            for entry in node.entries:
+                assert entry.is_data
+            return len(node.entries)
+        count = 0
+        for entry in node.entries:
+            assert not entry.is_data
+            child = entry.child
+            assert (entry.xl, entry.yl, entry.xu, entry.yu) == child.mbr_tuple()
+            count += self._validate_node(child, expected_level - 1, is_root=False)
+        return count
+
+    def __repr__(self) -> str:
+        return (
+            f"<GuttmanRTree size={self.size} height={self.height} "
+            f"split={self.split_strategy!r}>"
+        )
+
+
+# -- tuple-MBR helpers ---------------------------------------------------------
+
+
+def _mbr_of(entries: list[Entry]) -> tuple[float, float, float, float]:
+    e = entries[0]
+    xl, yl, xu, yu = e.xl, e.yl, e.xu, e.yu
+    for e in entries[1:]:
+        if e.xl < xl:
+            xl = e.xl
+        if e.yl < yl:
+            yl = e.yl
+        if e.xu > xu:
+            xu = e.xu
+        if e.yu > yu:
+            yu = e.yu
+    return (xl, yl, xu, yu)
+
+
+def _area(b: tuple[float, float, float, float]) -> float:
+    return (b[2] - b[0]) * (b[3] - b[1])
+
+
+def _enlargement(b: tuple[float, float, float, float], entry: Entry) -> float:
+    xl = b[0] if b[0] < entry.xl else entry.xl
+    yl = b[1] if b[1] < entry.yl else entry.yl
+    xu = b[2] if b[2] > entry.xu else entry.xu
+    yu = b[3] if b[3] > entry.yu else entry.yu
+    return (xu - xl) * (yu - yl) - _area(b)
+
+
+def _extend(
+    b: tuple[float, float, float, float], entry: Entry
+) -> tuple[float, float, float, float]:
+    return (
+        b[0] if b[0] < entry.xl else entry.xl,
+        b[1] if b[1] < entry.yl else entry.yl,
+        b[2] if b[2] > entry.xu else entry.xu,
+        b[3] if b[3] > entry.yu else entry.yu,
+    )

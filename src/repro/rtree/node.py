@@ -1,0 +1,69 @@
+"""R*-tree nodes: one node corresponds to one 4 KB page."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .entry import Entry
+
+__all__ = ["Node"]
+
+
+class Node:
+    """A page of the R*-tree.
+
+    ``level`` counts from the leaves up: 0 is a data page (leaf), the root
+    has the highest level.  ``page_id`` is assigned when the tree is
+    paginated onto the simulated disk array (see
+    :mod:`repro.rtree.pagestore`); it stays None for purely in-memory use.
+    """
+
+    __slots__ = ("level", "entries", "page_id")
+
+    def __init__(self, level: int, entries: Optional[list[Entry]] = None):
+        self.level = level
+        self.entries: list[Entry] = entries if entries is not None else []
+        self.page_id: Optional[int] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def mbr_tuple(self) -> tuple[float, float, float, float]:
+        """The minimum bounding rectangle over all entries, as a tuple."""
+        entries = self.entries
+        if not entries:
+            raise ValueError("empty node has no MBR")
+        first = entries[0]
+        xl, yl, xu, yu = first.xl, first.yl, first.xu, first.yu
+        for e in entries:
+            if e.xl < xl:
+                xl = e.xl
+            if e.yl < yl:
+                yl = e.yl
+            if e.xu > xu:
+                xu = e.xu
+            if e.yu > yu:
+                yu = e.yu
+        return (xl, yl, xu, yu)
+
+    def children(self) -> list["Node"]:
+        """Child nodes (directory nodes only)."""
+        return [e.child for e in self.entries]
+
+    def sort_entries_by_xl(self) -> None:
+        """Keep entries in plane-sweep order (the paper sorts node entries
+        by the spatial location of their rectangles, section 2.2)."""
+        self.entries.sort(key=_entry_xl)
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"dir(level={self.level})"
+        page = f" page={self.page_id}" if self.page_id is not None else ""
+        return f"<Node {kind} {len(self.entries)} entries{page}>"
+
+
+def _entry_xl(entry: Entry) -> float:
+    return entry.xl

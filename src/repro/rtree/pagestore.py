@@ -1,0 +1,76 @@
+"""Pagination: mapping R*-tree nodes onto numbered disk pages.
+
+The simulated disk array places pages on disks by page number modulo the
+number of disks (section 4.2), so node → page-number assignment matters
+only in that it is *spatially blind*.  We number the nodes of each tree
+breadth-first (root first) and continue the numbering across trees, giving
+every node of the join a globally unique page id.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..storage.page import PageKind
+from .node import Node
+from .rstar import RStarTree
+
+__all__ = ["PageStore"]
+
+
+class PageStore:
+    """Registry of all paginated trees of one join."""
+
+    def __init__(self):
+        self._node_by_page: dict[int, Node] = {}
+        self._tree_by_page: dict[int, int] = {}
+        self._trees: dict[int, RStarTree] = {}
+        self._next_page = 0
+
+    def add_tree(self, tree_id: int, tree: RStarTree) -> None:
+        """Assign page ids to every node of *tree* (breadth-first)."""
+        if tree_id in self._trees:
+            raise ValueError(f"tree id {tree_id} already paginated")
+        self._trees[tree_id] = tree
+        for node in tree.nodes():
+            node.page_id = self._next_page
+            self._node_by_page[self._next_page] = node
+            self._tree_by_page[self._next_page] = tree_id
+            self._next_page += 1
+
+    def alias_tree(self, tree_id: int, existing_id: int) -> None:
+        """Register *tree_id* as a second name for an already paginated
+        tree — the self-join case, where both join inputs are one tree
+        and its pages must not be numbered (and charged) twice."""
+        if tree_id in self._trees:
+            raise ValueError(f"tree id {tree_id} already paginated")
+        self._trees[tree_id] = self._trees[existing_id]
+
+    def node(self, page_id: int) -> Node:
+        return self._node_by_page[page_id]
+
+    def tree_of(self, page_id: int) -> int:
+        return self._tree_by_page[page_id]
+
+    def tree(self, tree_id: int) -> RStarTree:
+        return self._trees[tree_id]
+
+    def kind(self, page_id: int) -> PageKind:
+        return PageKind.DATA if self._node_by_page[page_id].is_leaf else PageKind.DIRECTORY
+
+    def depth(self, tree_id: int, node: Node) -> int:
+        """Depth from the root (0 = root) — what the path buffer indexes."""
+        return self._trees[tree_id].height - 1 - node.level
+
+    @property
+    def page_count(self) -> int:
+        return self._next_page
+
+    def tree_heights(self) -> dict[int, int]:
+        return {tree_id: tree.height for tree_id, tree in self._trees.items()}
+
+    def pages(self) -> Iterator[int]:
+        return iter(range(self._next_page))
+
+    def __repr__(self) -> str:
+        return f"<PageStore {len(self._trees)} trees, {self._next_page} pages>"

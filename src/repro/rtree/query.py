@@ -1,0 +1,101 @@
+"""Query operations beyond the basic window search.
+
+The paper's future-work section names neighbour and window queries as the
+operations a parallel spatial query framework must also support; this
+module provides both over the same R*-tree:
+
+* :func:`window_query` — standalone window search with page-access
+  accounting (how many nodes were touched), used by examples and benches;
+* :func:`nearest_neighbors` — best-first k-NN search over MBR distances.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Optional
+
+from ..geometry.rect import Rect
+from .entry import Entry
+from .rstar import RStarTree
+
+__all__ = ["window_query", "nearest_neighbors", "QueryStats"]
+
+
+class QueryStats:
+    """Nodes visited during one query, split by kind."""
+
+    __slots__ = ("directory_nodes", "leaf_nodes")
+
+    def __init__(self):
+        self.directory_nodes = 0
+        self.leaf_nodes = 0
+
+    @property
+    def total_nodes(self) -> int:
+        return self.directory_nodes + self.leaf_nodes
+
+    def __repr__(self) -> str:
+        return f"QueryStats(dir={self.directory_nodes}, leaf={self.leaf_nodes})"
+
+
+def window_query(
+    tree: RStarTree, window: Rect, stats: Optional[QueryStats] = None
+) -> list[Entry]:
+    """All data entries intersecting *window*, with node-visit accounting."""
+    result: list[Entry] = []
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if stats is not None:
+            if node.is_leaf:
+                stats.leaf_nodes += 1
+            else:
+                stats.directory_nodes += 1
+        if node.is_leaf:
+            for entry in node.entries:
+                if entry.intersects(window):
+                    result.append(entry)
+        else:
+            for entry in node.entries:
+                if entry.intersects(window):
+                    stack.append(entry.child)
+    return result
+
+
+def nearest_neighbors(
+    tree: RStarTree, x: float, y: float, k: int = 1
+) -> list[tuple[float, Entry]]:
+    """The *k* data entries whose MBRs are nearest to point ``(x, y)``.
+
+    Classic best-first search: a priority queue ordered by minimum MBR
+    distance; directory entries expand, data entries pop as results.
+    Returns ``(distance, entry)`` pairs in non-decreasing distance order.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if tree.size == 0:
+        return []
+    counter = itertools.count()  # tie-break: strict weak order for heapq
+    heap: list[tuple[float, int, bool, object]] = [
+        (0.0, next(counter), False, tree.root)
+    ]
+    results: list[tuple[float, Entry]] = []
+    while heap and len(results) < k:
+        distance, _, is_entry, item = heapq.heappop(heap)
+        if is_entry:
+            results.append((distance, item))
+            continue
+        for entry in item.entries:
+            d = _min_distance(entry, x, y)
+            if item.is_leaf:
+                heapq.heappush(heap, (d, next(counter), True, entry))
+            else:
+                heapq.heappush(heap, (d, next(counter), False, entry.child))
+    return results
+
+
+def _min_distance(entry: Entry, x: float, y: float) -> float:
+    dx = max(entry.xl - x, x - entry.xu, 0.0)
+    dy = max(entry.yl - y, y - entry.yu, 0.0)
+    return (dx * dx + dy * dy) ** 0.5

@@ -1,0 +1,28 @@
+"""Deterministic discrete-event simulation of the SVM multiprocessor.
+
+``engine`` is the kernel (clock, events, generator processes), ``resources``
+adds FCFS resources and FIFO stores, ``machine`` models the KSR1 of the
+paper's evaluation (Table 2) and ``metrics`` collects the quantities the
+paper plots.
+"""
+
+from .engine import Environment, Event, Process, SimulationError
+from .machine import KSR1_CONFIG, Machine, MachineConfig, MemoryLevel
+from .metrics import Metrics, ProcessorTimes
+from .resources import Lock, Resource, Store
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Process",
+    "SimulationError",
+    "Resource",
+    "Lock",
+    "Store",
+    "Machine",
+    "MachineConfig",
+    "MemoryLevel",
+    "KSR1_CONFIG",
+    "Metrics",
+    "ProcessorTimes",
+]

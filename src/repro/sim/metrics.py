@@ -1,0 +1,104 @@
+"""Counters and timing records shared by storage, buffers and the join.
+
+The paper's evaluation reports a small set of quantities again and again:
+the total number of disk accesses (Figures 5, 7, 8, 10), per-processor
+run times (first/average/last, Figure 7), the response time (Figure 9) and
+the speed-up (Figure 10).  :class:`Metrics` collects the counts and
+:class:`ProcessorTimes` the per-processor clocks, so every layer increments
+the same object and the bench harness reads one place.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+__all__ = ["Metrics", "ProcessorTimes"]
+
+
+class Metrics:
+    """A bag of named counters with a few derived convenience views."""
+
+    def __init__(self):
+        self.counts: defaultdict[str, int] = defaultdict(int)
+        self.per_disk_reads: defaultdict[int, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self.counts[name] += amount
+
+    def __getitem__(self, name: str) -> int:
+        return self.counts[name]
+
+    # -- the quantities the paper plots -------------------------------------
+    @property
+    def disk_accesses(self) -> int:
+        """Total disk accesses: the y-axis of Figures 5, 8 and 10."""
+        return self.counts["disk_reads"]
+
+    @property
+    def buffer_hits(self) -> int:
+        return self.counts["lru_hits"] + self.counts["path_hits"]
+
+    @property
+    def remote_hits(self) -> int:
+        """Pages served out of another processor's buffer (global buffer)."""
+        return self.counts["remote_hits"]
+
+    def record_disk_read(self, disk_id: int) -> None:
+        self.counts["disk_reads"] += 1
+        self.per_disk_reads[disk_id] += 1
+
+    def merge(self, other: "Metrics") -> None:
+        for name, value in other.counts.items():
+            self.counts[name] += value
+        for disk, value in other.per_disk_reads.items():
+            self.per_disk_reads[disk] += value
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.counts)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+        return f"Metrics({inner})"
+
+
+class ProcessorTimes:
+    """Finish times and busy times of the simulated processors.
+
+    ``finish[i]`` is the simulated time processor *i* completed its last
+    task; ``busy[i]`` is the time it spent working (excluding idle waits at
+    the very end).  The derived values follow section 4.5:
+
+    * *response time* — the wall-clock of the processor finishing last,
+    * *total run time of all tasks* — the sum of the busy times (the
+      throughput-relevant quantity of section 4.5's final paragraph).
+    """
+
+    def __init__(self, n: int):
+        self.finish = [0.0] * n
+        self.busy = [0.0] * n
+
+    @property
+    def n(self) -> int:
+        return len(self.finish)
+
+    @property
+    def response_time(self) -> float:
+        return max(self.finish) if self.finish else 0.0
+
+    @property
+    def first_finish(self) -> float:
+        return min(self.finish) if self.finish else 0.0
+
+    @property
+    def average_finish(self) -> float:
+        return sum(self.finish) / len(self.finish) if self.finish else 0.0
+
+    @property
+    def total_run_time(self) -> float:
+        return sum(self.busy)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessorTimes(n={self.n}, response={self.response_time:.3f}, "
+            f"first={self.first_finish:.3f}, avg={self.average_finish:.3f})"
+        )

@@ -1,0 +1,159 @@
+"""Contended resources for the simulation kernel.
+
+* :class:`Resource` — a FCFS server pool.  A disk is a ``Resource`` with
+  capacity 1 (requests queue up; the paper's "synchronization, especially
+  at the disks"), the interconnect bus is a ``Resource`` whose holds model
+  page transfers, a lock is a capacity-1 resource held across a critical
+  section.
+* :class:`Store` — an unbounded FIFO of items with blocking ``get``; the
+  shared *task queue* of the dynamic task assignment (section 3.3).
+
+Both are strictly first-come-first-served in simulated time (ties broken
+by request order), which keeps every experiment deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generator
+
+from .engine import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Lock", "Store"]
+
+
+class Resource:
+    """A FCFS pool of ``capacity`` identical servers.
+
+    Usage inside a process::
+
+        yield disk.acquire()
+        try:
+            yield env.timeout(service_time)
+        finally:
+            disk.release()
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiting: Deque[Event] = deque()
+        # Bookkeeping for utilisation metrics.
+        self.total_acquisitions = 0
+        self.total_wait_time = 0.0
+        self._request_times: dict[Event, float] = {}
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def acquire(self) -> Event:
+        """An event that fires once a server is granted to the caller."""
+        event = Event(self.env)
+        self._request_times[event] = self.env.now
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self._grant(event)
+        else:
+            self._waiting.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return one server; the longest-waiting request (if any) gets it."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiting:
+            self._grant(self._waiting.popleft())
+        else:
+            self._in_use -= 1
+
+    def _grant(self, event: Event) -> None:
+        self.total_acquisitions += 1
+        self.total_wait_time += self.env.now - self._request_times.pop(event)
+        event.succeed()
+
+    def held(self, duration: float) -> Generator:
+        """Convenience process body: acquire, hold ``duration``, release."""
+        yield self.acquire()
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.release()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Resource {self.name!r} {self._in_use}/{self.capacity} busy, "
+            f"{len(self._waiting)} queued>"
+        )
+
+
+class Lock(Resource):
+    """A capacity-1 resource; the SVM directory latch of the global buffer."""
+
+    def __init__(self, env: Environment, name: str = ""):
+        super().__init__(env, capacity=1, name=name)
+
+
+class Store:
+    """An unbounded FIFO with blocking ``get`` — the shared task queue.
+
+    ``put`` never blocks.  ``get`` returns an event that fires with the
+    oldest item; when the store is empty the getter queues up (FCFS).
+    A ``close`` drains all waiting getters with ``default`` — used to tell
+    idle processors that no further tasks will arrive.
+    """
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name
+        self._items: Deque = deque()
+        self._getters: Deque[Event] = deque()
+        self._closed = False
+        self._close_value = None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, item) -> None:
+        if self._closed:
+            raise SimulationError(f"put on closed store {self.name!r}")
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        elif self._closed:
+            event.succeed(self._close_value)
+        else:
+            self._getters.append(event)
+        return event
+
+    def close(self, default=None) -> None:
+        """Mark the store exhausted; all current and future empty gets
+        resolve immediately with *default*."""
+        self._closed = True
+        self._close_value = default
+        while self._getters:
+            self._getters.popleft().succeed(default)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Store {self.name!r} {len(self._items)} items, "
+            f"{len(self._getters)} waiting>"
+        )

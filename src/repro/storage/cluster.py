@@ -1,0 +1,56 @@
+"""Exact-geometry clusters ([BK 94] global clustering).
+
+The paper stores the exact representations of all objects of one data page
+together in a *cluster* on disk: "there is a one-to-one relationship
+between a data page and the cluster where the exact geometry
+representations of the entries in the data page are stored" (section 4.2).
+Reading a data page therefore implicitly reads the cluster — the timing is
+part of :class:`repro.storage.disk.DiskParams`; this module keeps the
+*contents*: which object geometries travel with which data page, used by
+examples and tests that run the real (non-simulated) refinement step.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+__all__ = ["ClusterStore"]
+
+
+class ClusterStore:
+    """Maps a data page id to the exact geometries of its entries."""
+
+    def __init__(self):
+        self._clusters: dict[int, dict[Hashable, object]] = {}
+
+    def store(self, page_id: int, geometries: Mapping[Hashable, object]) -> None:
+        """Register the cluster of ``page_id`` (one per page; re-registering
+        replaces, mirroring a page rewrite)."""
+        self._clusters[page_id] = dict(geometries)
+
+    def load(self, page_id: int) -> dict[Hashable, object]:
+        """The geometries clustered with ``page_id``; raises KeyError for an
+        unknown page (a data page always has exactly one cluster)."""
+        return self._clusters[page_id]
+
+    def geometry(self, page_id: int, object_id: Hashable):
+        return self._clusters[page_id][object_id]
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._clusters
+
+    def __len__(self) -> int:
+        return len(self._clusters)
+
+    def page_ids(self) -> Iterable[int]:
+        return self._clusters.keys()
+
+    def average_cluster_bytes(self, bytes_per_geometry: int = 0) -> float:
+        """Mean geometries per cluster, scaled to bytes when a per-geometry
+        size is supplied — lets tests compare against the paper's 26 KB."""
+        if not self._clusters:
+            return 0.0
+        mean_entries = sum(len(c) for c in self._clusters.values()) / len(
+            self._clusters
+        )
+        return mean_entries * bytes_per_geometry if bytes_per_geometry else mean_entries

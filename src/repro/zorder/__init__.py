@@ -1,0 +1,16 @@
+"""The z-ordering baseline of [OM 88]: Morton curve, B+-tree, merge join."""
+
+from .btree import BPlusTree
+from .curve import Quantizer, ZRegion, decompose, interleave
+from .join import ZJoinStats, ZOrderIndex, zorder_join
+
+__all__ = [
+    "interleave",
+    "ZRegion",
+    "Quantizer",
+    "decompose",
+    "BPlusTree",
+    "ZOrderIndex",
+    "ZJoinStats",
+    "zorder_join",
+]

@@ -1,0 +1,173 @@
+"""A B+-tree — the one-dimensional access method under [OM 88]'s join.
+
+PROBE stores the z-order entries of each spatial relation in a standard
+B-tree and processes the spatial join as an ordered merge of the two
+trees' leaf levels.  This is that substrate: a classic B+-tree with
+ordered keys, duplicate support, ordered leaf iteration and range scans.
+
+Keys are arbitrary comparables; values ride along.  Fan-out defaults to
+the paper's page layout would allow for 12-byte (key, pointer) entries,
+but is configurable for testing.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, Optional
+
+__all__ = ["BPlusTree"]
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self):
+        self.keys: list = []
+        self.values: list = []
+        self.next: Optional["_Leaf"] = None
+
+
+class _Inner:
+    __slots__ = ("keys", "children")
+
+    def __init__(self):
+        # children[i] covers keys < keys[i]; children[-1] the rest.
+        self.keys: list = []
+        self.children: list = []
+
+
+class BPlusTree:
+    """A B+-tree with linked leaves; duplicates allowed."""
+
+    def __init__(self, order: int = 64):
+        if order < 4:
+            raise ValueError("order must be at least 4")
+        self.order = order
+        self._root = _Leaf()
+        self._size = 0
+        self.height = 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ----------------------------------------------------------------- insert
+    def insert(self, key, value) -> None:
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            separator, sibling = split
+            new_root = _Inner()
+            new_root.keys = [separator]
+            new_root.children = [self._root, sibling]
+            self._root = new_root
+            self.height += 1
+        self._size += 1
+
+    def _insert(self, node, key, value):
+        if isinstance(node, _Leaf):
+            index = bisect.bisect_right(node.keys, key)
+            node.keys.insert(index, key)
+            node.values.insert(index, value)
+            if len(node.keys) <= self.order:
+                return None
+            return self._split_leaf(node)
+        index = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[index], key, value)
+        if split is None:
+            return None
+        separator, sibling = split
+        node.keys.insert(index, separator)
+        node.children.insert(index + 1, sibling)
+        if len(node.children) <= self.order:
+            return None
+        return self._split_inner(node)
+
+    def _split_leaf(self, leaf: _Leaf):
+        middle = len(leaf.keys) // 2
+        sibling = _Leaf()
+        sibling.keys = leaf.keys[middle:]
+        sibling.values = leaf.values[middle:]
+        leaf.keys = leaf.keys[:middle]
+        leaf.values = leaf.values[:middle]
+        sibling.next = leaf.next
+        leaf.next = sibling
+        return (sibling.keys[0], sibling)
+
+    def _split_inner(self, inner: _Inner):
+        middle = len(inner.children) // 2
+        sibling = _Inner()
+        separator = inner.keys[middle - 1]
+        sibling.keys = inner.keys[middle:]
+        sibling.children = inner.children[middle:]
+        inner.keys = inner.keys[: middle - 1]
+        inner.children = inner.children[:middle]
+        return (separator, sibling)
+
+    # ----------------------------------------------------------------- search
+    def _leftmost_leaf_for(self, key) -> tuple[_Leaf, int]:
+        node = self._root
+        while isinstance(node, _Inner):
+            index = bisect.bisect_left(node.keys, key)
+            node = node.children[index]
+        return node, bisect.bisect_left(node.keys, key)
+
+    def items(self) -> Iterator[tuple]:
+        """All (key, value) pairs in key order (leaf-level scan)."""
+        node = self._root
+        while isinstance(node, _Inner):
+            node = node.children[0]
+        while node is not None:
+            yield from zip(node.keys, node.values)
+            node = node.next
+
+    def range(self, low, high) -> Iterator[tuple]:
+        """All (key, value) with ``low <= key <= high``, in order."""
+        leaf, index = self._leftmost_leaf_for(low)
+        while leaf is not None:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if key > high:
+                    return
+                yield (key, leaf.values[index])
+                index += 1
+            leaf = leaf.next
+            index = 0
+
+    def bulk_load(self, pairs: Iterable[tuple]) -> None:
+        """Insert many (key, value) pairs (just a convenience loop)."""
+        for key, value in pairs:
+            self.insert(key, value)
+
+    def validate(self) -> None:
+        """Check ordering, fill and linked-leaf invariants."""
+        keys = [key for key, _ in self.items()]
+        assert keys == sorted(keys), "leaf chain out of order"
+        count = self._validate(self._root, is_root=True)
+        assert count == self._size
+
+    def _validate(self, node, is_root: bool) -> int:
+        minimum = 1 if is_root else self.order // 2 - 1
+        if isinstance(node, _Leaf):
+            assert len(node.keys) == len(node.values)
+            assert is_root or len(node.keys) >= max(1, minimum)
+            return len(node.keys)
+        assert len(node.children) == len(node.keys) + 1
+        assert len(node.children) >= (2 if is_root else max(2, minimum))
+        total = 0
+        for index, child in enumerate(node.children):
+            total += self._validate(child, is_root=False)
+            if index < len(node.keys):
+                subtree_keys = [k for k, _ in _subtree_items(child)]
+                if subtree_keys:
+                    assert subtree_keys[-1] <= node.keys[index]
+        return total
+
+    def __repr__(self) -> str:
+        return f"<BPlusTree size={self._size} height={self.height} order={self.order}>"
+
+
+def _subtree_items(node):
+    if isinstance(node, _Leaf):
+        yield from zip(node.keys, node.values)
+        return
+    for child in node.children:
+        yield from _subtree_items(child)

@@ -1,0 +1,145 @@
+"""The z-order (Morton) space-filling curve and z-region decomposition.
+
+[OM 88] (PROBE), reviewed in the paper's section 2.1, processes spatial
+joins on B-trees over *z-values*: space is quartered recursively, every
+quadrant at level ``l`` is a *z-region* — a prefix of the Morton code —
+and an object is approximated by a small set of z-regions covering its
+MBR.  A z-region corresponds to a contiguous interval of z-values, so
+B-tree machinery (sorting, range scans, merge joins) applies.
+
+This module provides the curve: bit interleaving, the z-region type, and
+the recursive decomposition of a rectangle into at most ``max_regions``
+z-regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry.rect import Rect
+
+__all__ = ["interleave", "ZRegion", "decompose", "Quantizer"]
+
+
+def interleave(ix: int, iy: int, bits: int) -> int:
+    """Morton code: interleave the low *bits* of ix (even) and iy (odd)."""
+    code = 0
+    for bit in range(bits):
+        code |= ((ix >> bit) & 1) << (2 * bit)
+        code |= ((iy >> bit) & 1) << (2 * bit + 1)
+    return code
+
+
+@dataclass(frozen=True, order=True)
+class ZRegion:
+    """A quadtree cell as a z-value interval ``[lo, hi]`` (inclusive).
+
+    ``level`` 0 is the whole space; each level quarters the cells.  The
+    interval bounds are z-values at the finest resolution, so regions of
+    different levels compare directly.
+    """
+
+    lo: int
+    hi: int
+    level: int
+
+    def contains(self, other: "ZRegion") -> bool:
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def overlaps(self, other: "ZRegion") -> bool:
+        return self.lo <= other.hi and other.lo <= self.hi
+
+
+class Quantizer:
+    """Maps world coordinates into the ``2^bits`` x ``2^bits`` grid."""
+
+    def __init__(self, bounds: Rect, bits: int = 12):
+        if bits < 1 or bits > 28:
+            raise ValueError("bits must be in [1, 28]")
+        self.bounds = bounds
+        self.bits = bits
+        self.cells = 1 << bits
+        width = bounds.xu - bounds.xl
+        height = bounds.yu - bounds.yl
+        self._sx = self.cells / width if width > 0 else 0.0
+        self._sy = self.cells / height if height > 0 else 0.0
+
+    def cell_of(self, x: float, y: float) -> tuple[int, int]:
+        ix = int((x - self.bounds.xl) * self._sx)
+        iy = int((y - self.bounds.yl) * self._sy)
+        limit = self.cells - 1
+        return (min(max(ix, 0), limit), min(max(iy, 0), limit))
+
+    def grid_rect(self, rect: Rect) -> tuple[int, int, int, int]:
+        """Inclusive grid-cell bounds covering *rect*."""
+        ix0, iy0 = self.cell_of(rect.xl, rect.yl)
+        ix1, iy1 = self.cell_of(rect.xu, rect.yu)
+        return (ix0, iy0, ix1, iy1)
+
+
+def decompose(rect: Rect, quantizer: Quantizer, max_regions: int = 4) -> list[ZRegion]:
+    """Cover *rect* with at most *max_regions* z-regions.
+
+    Recursive quadtree descent: a cell is kept whole when it lies inside
+    the rectangle or when splitting it would exceed the budget; otherwise
+    it is quartered.  More regions = tighter approximation = fewer false
+    hits but more B-tree entries — [OM 88]'s central trade-off.
+    """
+    if max_regions < 1:
+        raise ValueError("max_regions must be at least 1")
+    bits = quantizer.bits
+    ix0, iy0, ix1, iy1 = quantizer.grid_rect(rect)
+
+    # Descend to the smallest quadtree cell that encloses the whole
+    # rectangle — the classic single-z-region approximation; the budgeted
+    # cover below then refines within that cell.
+    level, cx, cy = 0, 0, 0
+    while level < bits:
+        shift = bits - (level + 1)
+        if (ix0 >> shift) != (ix1 >> shift) or (iy0 >> shift) != (iy1 >> shift):
+            break
+        cx = ix0 >> shift
+        cy = iy0 >> shift
+        level += 1
+
+    regions: list[ZRegion] = []
+    # Work queue of cells: (level, cx, cy) where (cx, cy) is the cell's
+    # position in the level's grid.
+    queue: list[tuple[int, int, int]] = [(level, cx, cy)]
+    while queue:
+        level, cx, cy = queue.pop()
+        shift = bits - level
+        cell_ix0 = cx << shift
+        cell_iy0 = cy << shift
+        cell_ix1 = cell_ix0 + (1 << shift) - 1
+        cell_iy1 = cell_iy0 + (1 << shift) - 1
+        # Disjoint from the rectangle?
+        if cell_ix1 < ix0 or ix1 < cell_ix0 or cell_iy1 < iy0 or iy1 < cell_iy0:
+            continue
+        inside = (
+            ix0 <= cell_ix0
+            and cell_ix1 <= ix1
+            and iy0 <= cell_iy0
+            and cell_iy1 <= iy1
+        )
+        if inside or level == bits or len(regions) + len(queue) + 4 > max_regions:
+            lo = interleave(cell_ix0, cell_iy0, bits)
+            regions.append(ZRegion(lo, lo + (1 << (2 * shift)) - 1, level))
+            continue
+        for dx in (0, 1):
+            for dy in (0, 1):
+                queue.append((level + 1, (cx << 1) | dx, (cy << 1) | dy))
+    regions.sort()
+    return _merge_adjacent(regions)
+
+
+def _merge_adjacent(regions: list[ZRegion]) -> list[ZRegion]:
+    """Merge z-contiguous regions into single intervals (fewer entries)."""
+    merged: list[ZRegion] = []
+    for region in regions:
+        if merged and merged[-1].hi + 1 == region.lo:
+            previous = merged[-1]
+            merged[-1] = ZRegion(previous.lo, region.hi, min(previous.level, region.level))
+        else:
+            merged.append(region)
+    return merged

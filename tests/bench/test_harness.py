@@ -1,0 +1,130 @@
+"""Tests for the benchmark harness and experiment drivers (tiny scale)."""
+
+import pytest
+
+from repro.bench import (
+    PAPER_TABLE1,
+    Workload,
+    ablation_tuning_techniques,
+    active_scale,
+    get_workload,
+    heading,
+    render_series,
+    render_table,
+    scaled_pages,
+    table1_rows,
+    table2_rows,
+)
+from repro.bench.harness import _CACHE
+
+
+class TestHarness:
+    def test_get_workload_cached(self):
+        a = get_workload(0.005)
+        b = get_workload(0.005)
+        assert a is b
+        assert isinstance(a, Workload)
+        assert len(a.map1) > 0
+        assert a.tree1.size == len(a.map1)
+
+    def test_active_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert active_scale() == 0.5
+        monkeypatch.delenv("REPRO_SCALE")
+        assert active_scale() == 0.25
+
+    def test_scaled_pages(self):
+        assert scaled_pages(800, 1.0) == 800
+        assert scaled_pages(800, 0.25) == 200
+        assert scaled_pages(8, 0.1) == 4  # floor of 4 pages
+
+
+class TestTables:
+    def test_table1_rows_structure(self):
+        rows = table1_rows(get_workload(0.005))
+        assert [r["parameter"] for r in rows] == [
+            "height",
+            "number of data entries",
+            "number of data pages",
+            "number of directory pages",
+            "m (number of tasks)",
+        ]
+        entries_row = rows[1]
+        assert entries_row["tree1"] == len(get_workload(0.005).map1)
+        assert entries_row["paper tree1"] == PAPER_TABLE1["tree1"][
+            "number of data entries"
+        ]
+
+    def test_table2_rows(self):
+        rows = table2_rows()
+        assert len(rows) == 3
+        assert rows[0]["memory"] == "cache"
+        assert rows[2]["band width (MB/sec)"] == 32.0
+        # Remote page copies are slower than local ones.
+        assert rows[2]["4KB page copy (usec)"] > rows[1]["4KB page copy (usec)"]
+
+
+class TestAblationDrivers:
+    def test_tuning_ablation_rows(self):
+        rows = ablation_tuning_techniques(get_workload(0.005))
+        assert len(rows) == 4
+        candidates = {r["candidates"] for r in rows}
+        assert len(candidates) == 1
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        out = render_table(
+            [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}], ["a", "b"]
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_render_table_empty(self):
+        assert render_table([], ["a"]) == "(no rows)"
+
+    def test_render_table_missing_cell(self):
+        out = render_table([{"a": 1}], ["a", "b"])
+        assert "-" in out
+
+    def test_render_series(self):
+        assert render_series("s", [(1, 2.0), (2, 4.0)]) == "s: 1=2.00  2=4.00"
+
+    def test_heading(self):
+        out = heading("Title")
+        assert "Title" in out and "=====" in out
+
+    def test_float_formatting(self):
+        out = render_table([{"x": 12345.6}, {"x": 0.00123}, {"x": 0.0}], ["x"])
+        assert "12346" in out
+        assert "0.0012" in out
+
+
+class TestAsciiChart:
+    def test_basic_shape(self):
+        from repro.bench import ascii_chart
+
+        out = ascii_chart(
+            {"a": [(1, 1.0), (2, 2.0)], "b": [(1, 2.0), (2, 1.0)]},
+            width=20,
+            height=5,
+            x_label="n",
+            y_label="y",
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("y")
+        assert any("o" in line for line in lines)
+        assert any("x" in line for line in lines)
+        assert "o = a" in lines[-1] and "x = b" in lines[-1]
+
+    def test_empty(self):
+        from repro.bench import ascii_chart
+
+        assert ascii_chart({}) == "(no data)"
+
+    def test_single_point(self):
+        from repro.bench import ascii_chart
+
+        out = ascii_chart({"s": [(5, 5)]}, width=10, height=4)
+        assert "o" in out

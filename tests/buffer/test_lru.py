@@ -1,0 +1,123 @@
+"""Unit tests for the LRU replacement policy."""
+
+import pytest
+
+from repro.buffer import LRUBuffer
+
+
+class TestLRUBuffer:
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            LRUBuffer(0)
+
+    def test_miss_then_hit(self):
+        buf = LRUBuffer(2)
+        assert not buf.touch(1)
+        buf.insert(1)
+        assert buf.touch(1)
+        assert buf.hits == 1
+        assert buf.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        buf = LRUBuffer(2)
+        buf.insert(1)
+        buf.insert(2)
+        evicted = buf.insert(3)
+        assert evicted == 1
+        assert 1 not in buf
+        assert 2 in buf and 3 in buf
+
+    def test_touch_refreshes_recency(self):
+        buf = LRUBuffer(2)
+        buf.insert(1)
+        buf.insert(2)
+        buf.touch(1)  # 2 becomes least recent
+        assert buf.insert(3) == 2
+
+    def test_insert_existing_refreshes_without_eviction(self):
+        buf = LRUBuffer(2)
+        buf.insert(1)
+        buf.insert(2)
+        assert buf.insert(1) is None  # refresh, no eviction
+        assert buf.insert(3) == 2
+
+    def test_insert_below_capacity_no_eviction(self):
+        buf = LRUBuffer(3)
+        assert buf.insert(1) is None
+        assert buf.insert(2) is None
+        assert len(buf) == 2
+
+    def test_remove(self):
+        buf = LRUBuffer(2)
+        buf.insert(1)
+        assert buf.remove(1)
+        assert not buf.remove(1)
+        assert 1 not in buf
+
+    def test_pages_least_recent_first(self):
+        buf = LRUBuffer(3)
+        buf.insert(1)
+        buf.insert(2)
+        buf.insert(3)
+        buf.touch(1)
+        assert list(buf.pages()) == [2, 3, 1]
+
+    def test_clear(self):
+        buf = LRUBuffer(2)
+        buf.insert(1)
+        buf.clear()
+        assert len(buf) == 0
+
+    def test_capacity_one_thrashes(self):
+        buf = LRUBuffer(1)
+        buf.insert(1)
+        assert buf.insert(2) == 1
+        assert buf.insert(3) == 2
+        assert len(buf) == 1
+
+
+class TestPathBuffer:
+    def test_height_positive(self):
+        from repro.buffer import PathBuffer
+
+        with pytest.raises(ValueError):
+            PathBuffer(0)
+
+    def test_record_and_contains(self):
+        from repro.buffer import PathBuffer
+
+        pb = PathBuffer(3)
+        pb.record(0, 100)
+        pb.record(1, 200)
+        assert pb.contains(100)
+        assert pb.contains(200)
+        assert not pb.contains(300)
+        assert pb.hits == 2
+
+    def test_record_invalidates_deeper_levels(self):
+        from repro.buffer import PathBuffer
+
+        pb = PathBuffer(3)
+        pb.record(0, 1)
+        pb.record(1, 2)
+        pb.record(2, 3)
+        pb.record(1, 20)  # sibling subtree: old level-2 page gone
+        assert pb.current_path() == [1, 20, None]
+        assert not pb.contains(3)
+
+    def test_level_bounds_checked(self):
+        from repro.buffer import PathBuffer
+
+        pb = PathBuffer(2)
+        with pytest.raises(IndexError):
+            pb.record(2, 1)
+        with pytest.raises(IndexError):
+            pb.record(-1, 1)
+
+    def test_clear(self):
+        from repro.buffer import PathBuffer
+
+        pb = PathBuffer(2)
+        pb.record(0, 1)
+        pb.clear()
+        assert pb.current_path() == [None, None]

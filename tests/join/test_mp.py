@@ -1,0 +1,83 @@
+"""Tests for the real multiprocessing filter-step backend."""
+
+import pytest
+
+from repro.datagen import build_tree, paper_maps
+from repro.join import multiprocessing_join, sequential_join
+from repro.join.mp import join_subtrees
+from repro.join.parallel import prepare_trees
+from repro.rtree import RStarTree
+
+
+@pytest.fixture(scope="module")
+def trees():
+    m1, m2 = paper_maps(scale=0.01)
+    tree_r, tree_s = build_tree(m1), build_tree(m2)
+    prepare_trees(tree_r, tree_s)
+    return tree_r, tree_s
+
+
+class TestJoinSubtrees:
+    def test_whole_tree_pair_equals_sequential(self, trees):
+        tree_r, tree_s = trees
+        pairs = join_subtrees(tree_r.root, tree_s.root)
+        assert set(pairs) == sequential_join(tree_r, tree_s).pair_set()
+
+
+class TestMultiprocessingJoin:
+    def test_single_process_fallback(self, trees):
+        tree_r, tree_s = trees
+        pairs = multiprocessing_join(tree_r, tree_s, processes=1)
+        assert set(pairs) == sequential_join(tree_r, tree_s).pair_set()
+
+    def test_two_processes_match_sequential(self, trees):
+        tree_r, tree_s = trees
+        pairs = multiprocessing_join(tree_r, tree_s, processes=2)
+        assert set(pairs) == sequential_join(tree_r, tree_s).pair_set()
+
+    def test_four_processes_match_sequential(self, trees):
+        tree_r, tree_s = trees
+        pairs = multiprocessing_join(tree_r, tree_s, processes=4)
+        assert set(pairs) == sequential_join(tree_r, tree_s).pair_set()
+
+    def test_no_duplicates(self, trees):
+        tree_r, tree_s = trees
+        pairs = multiprocessing_join(tree_r, tree_s, processes=3)
+        assert len(pairs) == len(set(pairs))
+
+    def test_empty_trees(self):
+        empty = RStarTree()
+        assert multiprocessing_join(empty, empty, processes=2) == []
+
+    def test_default_process_count(self, trees):
+        tree_r, tree_s = trees
+        pairs = multiprocessing_join(tree_r, tree_s)
+        assert set(pairs) == sequential_join(tree_r, tree_s).pair_set()
+
+
+class TestMultiprocessingRefinement:
+    def test_geometry_both_or_neither(self, trees):
+        tree_r, tree_s = trees
+        with pytest.raises(ValueError):
+            multiprocessing_join(tree_r, tree_s, processes=1, geometry_r={})
+
+    def test_refined_answers_match_sequential_refinement(self):
+        from repro.datagen import paper_maps
+        from repro.join import ExactRefinement
+
+        m1, m2 = paper_maps(scale=0.01, include_geometry=True)
+        tree_r, tree_s = build_tree(m1), build_tree(m2)
+        prepare_trees(tree_r, tree_s)
+        geo1 = {o.oid: o.points for o in m1.objects}
+        geo2 = {o.oid: o.points for o in m2.objects}
+        candidates = sequential_join(tree_r, tree_s)
+        expected = set(
+            ExactRefinement(geo1, geo2).filter_answers(candidates.pairs)
+        )
+        for processes in (1, 2):
+            answers = multiprocessing_join(
+                tree_r, tree_s, processes=processes,
+                geometry_r=geo1, geometry_s=geo2,
+            )
+            assert set(answers) == expected
+            assert len(answers) == len(set(answers))

@@ -1,0 +1,94 @@
+"""Tests for the multi-step pipeline with the hull second filter."""
+
+import pytest
+
+from repro.datagen import build_tree, paper_maps
+from repro.join import ExactRefinement, sequential_join
+from repro.join.multistep import MultiStepResult, SecondFilter, multi_step_join
+
+
+@pytest.fixture(scope="module")
+def workload():
+    m1, m2 = paper_maps(scale=0.01, include_geometry=True)
+    tree_r, tree_s = build_tree(m1), build_tree(m2)
+    geo1 = {o.oid: o.points for o in m1.objects}
+    geo2 = {o.oid: o.points for o in m2.objects}
+    return tree_r, tree_s, geo1, geo2
+
+
+class TestSecondFilter:
+    def test_soundness_eliminated_pairs_are_false_hits(self, workload):
+        tree_r, tree_s, geo1, geo2 = workload
+        candidates = sequential_join(tree_r, tree_s).pairs
+        second = SecondFilter(geo1, geo2)
+        survivors = set(second.filter(candidates))
+        refinement = ExactRefinement(geo1, geo2)
+        answers = set(refinement.filter_answers(candidates))
+        # No answer may be eliminated by a conservative approximation.
+        assert answers <= survivors
+
+    def test_eliminates_some_false_hits(self, workload):
+        tree_r, tree_s, geo1, geo2 = workload
+        candidates = sequential_join(tree_r, tree_s).pairs
+        second = SecondFilter(geo1, geo2)
+        second.filter(candidates)
+        assert second.tests == len(candidates)
+        assert second.eliminated > 0
+
+    def test_hull_cache_reused(self, workload):
+        tree_r, tree_s, geo1, geo2 = workload
+        candidates = sequential_join(tree_r, tree_s).pairs[:50]
+        second = SecondFilter(geo1, geo2)
+        second.filter(candidates)
+        # Hulls are cached per object, not per pair.
+        assert len(second._hulls_r) <= len(geo1)
+        assert len(second._hulls_s) <= len(geo2)
+
+    def test_obvious_cases(self):
+        # A cross (hulls intersect, geometry intersects) and two hooks
+        # (MBRs intersect, hulls do not).
+        geo_r = {
+            "cross": ((0.0, 0.0), (2.0, 2.0)),
+            "hook": ((0.0, 0.0), (1.0, 0.0)),
+        }
+        geo_s = {
+            "cross": ((0.0, 2.0), (2.0, 0.0)),
+            "hook": ((0.0, 0.5), (1.0, 1.5)),
+        }
+        second = SecondFilter(geo_r, geo_s)
+        assert second.passes("cross", "cross")
+        assert not second.passes("hook", "hook")
+
+
+class TestMultiStepJoin:
+    def test_same_answers_with_and_without_second_filter(self, workload):
+        tree_r, tree_s, geo1, geo2 = workload
+        with_filter = multi_step_join(tree_r, tree_s, geo1, geo2)
+        without = multi_step_join(
+            tree_r, tree_s, geo1, geo2, use_second_filter=False
+        )
+        assert set(with_filter.answers) == set(without.answers)
+
+    def test_second_filter_saves_exact_tests(self, workload):
+        tree_r, tree_s, geo1, geo2 = workload
+        with_filter = multi_step_join(tree_r, tree_s, geo1, geo2)
+        without = multi_step_join(
+            tree_r, tree_s, geo1, geo2, use_second_filter=False
+        )
+        assert with_filter.exact_tests < without.exact_tests
+        assert with_filter.hull_eliminated > 0
+        assert without.hull_survivors == without.mbr_candidates
+
+    def test_step_accounting(self, workload):
+        tree_r, tree_s, geo1, geo2 = workload
+        result = multi_step_join(tree_r, tree_s, geo1, geo2)
+        assert result.mbr_candidates >= result.hull_survivors
+        assert result.hull_survivors >= len(result.answers)
+        assert result.exact_tests == result.hull_survivors
+        assert result.false_hits_after_hull == result.hull_survivors - len(
+            result.answers
+        )
+
+    def test_repr(self):
+        r = MultiStepResult(answers=[(1, 2)], mbr_candidates=10, hull_survivors=5, exact_tests=5)
+        assert "mbr=10" in repr(r)

@@ -1,0 +1,101 @@
+"""Tests for the refinement cost model and exact refinement."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.join import ExactRefinement, RefinementModel, overlap_degree
+
+
+class TestOverlapDegree:
+    def test_disjoint_zero(self):
+        assert overlap_degree(Rect(0, 0, 1, 1), Rect(5, 5, 6, 6)) == 0.0
+
+    def test_identical_one(self):
+        r = Rect(0, 0, 2, 3)
+        assert overlap_degree(r, r) == pytest.approx(1.0)
+
+    def test_partial_in_unit_interval(self):
+        d = overlap_degree(Rect(0, 0, 2, 2), Rect(1, 1, 3, 3))
+        assert 0.0 < d < 1.0
+
+    def test_symmetric(self):
+        a, b = Rect(0, 0, 2, 2), Rect(1, 0.5, 5, 4)
+        assert overlap_degree(a, b) == pytest.approx(overlap_degree(b, a))
+
+    def test_containment_not_saturated(self):
+        # A tiny rectangle inside a huge one: high coverage of the small
+        # one, but the extent dissimilarity keeps the degree below 1.
+        d = overlap_degree(Rect(0, 0, 100, 100), Rect(50, 50, 50.1, 50.1))
+        assert 0.0 < d < 0.2
+
+    def test_degenerate_segment_crossing_box(self):
+        d = overlap_degree(Rect(0, 1, 4, 1), Rect(1, 0, 2, 2))
+        assert 0.0 < d <= 1.0
+
+    def test_coincident_points(self):
+        assert overlap_degree(Rect(1, 1, 1, 1), Rect(1, 1, 1, 1)) == 1.0
+
+
+class TestRefinementModel:
+    def test_paper_range(self):
+        model = RefinementModel()
+        lo = model.cost(Rect(0, 0, 1, 1), Rect(1, 1, 2, 2))  # corner touch
+        hi = model.cost(Rect(0, 0, 1, 1), Rect(0, 0, 1, 1))  # identical
+        assert lo == pytest.approx(2e-3)
+        assert hi == pytest.approx(18e-3)
+
+    def test_monotone_in_overlap(self):
+        model = RefinementModel()
+        barely = model.cost(Rect(0, 0, 2, 2), Rect(1.9, 1.9, 4, 4))
+        half = model.cost(Rect(0, 0, 2, 2), Rect(1, 1, 3, 3))
+        full = model.cost(Rect(0, 0, 2, 2), Rect(0, 0, 2, 2))
+        assert barely < half < full
+
+    def test_mean_cost_near_paper_average(self):
+        # Calibration check on the standard workload: ~10 ms average
+        # (section 4.2), measured over the candidate pairs of a real join.
+        from repro.datagen import build_tree, paper_maps
+        from repro.join import sequential_join
+
+        m1, m2 = paper_maps(scale=0.05)
+        t1, t2 = build_tree(m1), build_tree(m2)
+        rects1 = {o.oid: o.mbr for o in m1.objects}
+        rects2 = {o.oid: o.mbr for o in m2.objects}
+        model = RefinementModel()
+        result = sequential_join(t1, t2)
+        assert result.candidates > 100
+        mean = sum(
+            model.cost(rects1[r], rects2[s]) for r, s in result.pairs
+        ) / result.candidates
+        assert 7e-3 <= mean <= 13e-3
+
+    def test_custom_parameters(self):
+        model = RefinementModel(t_min=1e-3, t_max=3e-3, exponent=1.0)
+        r = Rect(0, 0, 1, 1)
+        assert model.cost(r, r) == pytest.approx(3e-3)
+
+
+class TestExactRefinement:
+    def test_filters_false_hits(self):
+        # Two L-shaped polylines whose MBRs intersect but geometry doesn't.
+        geo_r = {0: ((0.0, 0.0), (1.0, 0.0), (1.0, 0.2))}
+        geo_s = {0: ((0.0, 1.0), (0.0, 0.3), (0.3, 1.0))}
+        refinement = ExactRefinement(geo_r, geo_s)
+        assert not refinement.is_answer(0, 0)
+        assert refinement.tests == 1
+        assert refinement.answers == 0
+
+    def test_accepts_answers(self):
+        geo_r = {0: ((0.0, 0.0), (2.0, 2.0))}
+        geo_s = {0: ((0.0, 2.0), (2.0, 0.0))}
+        refinement = ExactRefinement(geo_r, geo_s)
+        assert refinement.is_answer(0, 0)
+        assert refinement.answers == 1
+
+    def test_filter_answers(self):
+        geo_r = {0: ((0.0, 0.0), (2.0, 2.0)), 1: ((5.0, 5.0), (6.0, 6.0))}
+        geo_s = {0: ((0.0, 2.0), (2.0, 0.0)), 1: ((5.0, 6.0), (6.0, 6.5))}
+        refinement = ExactRefinement(geo_r, geo_s)
+        answers = refinement.filter_answers([(0, 0), (1, 1)])
+        assert answers == [(0, 0)]
+        assert refinement.tests == 2

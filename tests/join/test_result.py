@@ -1,0 +1,55 @@
+"""Unit tests for join result containers."""
+
+from repro.join import ParallelJoinResult, SequentialJoinResult
+from repro.sim import Metrics, ProcessorTimes
+
+
+class TestSequentialJoinResult:
+    def test_counts(self):
+        r = SequentialJoinResult(pairs=[(1, 2), (3, 4)])
+        assert r.candidates == 2
+        assert r.pair_set() == {(1, 2), (3, 4)}
+
+    def test_repr(self):
+        r = SequentialJoinResult(pairs=[], node_pairs_visited=3, intersection_tests=7)
+        text = repr(r)
+        assert "0 candidates" in text and "3 node pairs" in text
+
+
+class TestParallelJoinResult:
+    def make(self, finishes, pairs):
+        times = ProcessorTimes(len(finishes))
+        times.finish = list(finishes)
+        return ParallelJoinResult(
+            pairs_by_processor=pairs,
+            metrics=Metrics(),
+            times=times,
+        )
+
+    def test_candidates_and_pair_set(self):
+        r = self.make([1.0, 2.0], [[(1, 2)], [(3, 4), (5, 6)]])
+        assert r.candidates == 3
+        assert r.pair_set() == {(1, 2), (3, 4), (5, 6)}
+
+    def test_response_time(self):
+        r = self.make([1.0, 4.0, 2.0], [[], [], []])
+        assert r.response_time == 4.0
+
+    def test_speedup(self):
+        single = self.make([10.0], [[]])
+        four = self.make([2.0, 2.5, 2.0, 2.2], [[], [], [], []])
+        assert four.speedup_against(single) == 4.0
+
+    def test_speedup_zero_response(self):
+        single = self.make([10.0], [[]])
+        instant = self.make([0.0], [[]])
+        assert instant.speedup_against(single) == float("inf")
+
+    def test_disk_accesses_delegates_to_metrics(self):
+        r = self.make([1.0], [[]])
+        r.metrics.record_disk_read(0)
+        assert r.disk_accesses == 1
+
+    def test_repr(self):
+        r = self.make([1.5], [[(1, 2)]])
+        assert "candidates=1" in repr(r)

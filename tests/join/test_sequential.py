@@ -1,0 +1,141 @@
+"""Tests for the sequential BKS93 join."""
+
+import random
+
+import pytest
+
+from repro.geometry import Rect, brute_join_pairs
+from repro.join import ExactRefinement, sequential_join
+from repro.rtree import RStarTree, str_bulk_load
+
+
+def random_items(n, seed, extent=50.0, max_size=3.0):
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        x, y = rng.uniform(0, extent), rng.uniform(0, extent)
+        out.append((i, Rect(x, y, x + rng.uniform(0, max_size), y + rng.uniform(0, max_size))))
+    return out
+
+
+def brute_pairs(items_r, items_s):
+    return {
+        (i, j)
+        for i, r in items_r
+        for j, s in items_s
+        if r.intersects(s)
+    }
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_brute_force(self, seed):
+        items_r = random_items(300, seed)
+        items_s = random_items(250, seed + 50)
+        tree_r = str_bulk_load(items_r, dir_capacity=8, data_capacity=8)
+        tree_s = str_bulk_load(items_s, dir_capacity=8, data_capacity=8)
+        result = sequential_join(tree_r, tree_s)
+        assert result.pair_set() == brute_pairs(items_r, items_s)
+
+    def test_empty_trees(self):
+        empty = RStarTree(dir_capacity=8, data_capacity=8)
+        other = str_bulk_load(random_items(10, 1), dir_capacity=8, data_capacity=8)
+        assert sequential_join(empty, other).pairs == []
+        assert sequential_join(other, empty).pairs == []
+        assert sequential_join(empty, empty).pairs == []
+
+    def test_disjoint_maps(self):
+        items_r = random_items(50, 2, extent=10)
+        items_s = [(i, Rect(r.xl + 100, r.yl, r.xu + 100, r.yu)) for i, r in random_items(50, 3, extent=10)]
+        tree_r = str_bulk_load(items_r, dir_capacity=8, data_capacity=8)
+        tree_s = str_bulk_load(items_s, dir_capacity=8, data_capacity=8)
+        assert sequential_join(tree_r, tree_s).pairs == []
+
+    def test_unequal_heights(self):
+        items_r = random_items(500, 4)
+        items_s = random_items(12, 5)  # single-leaf tree
+        tree_r = str_bulk_load(items_r, dir_capacity=8, data_capacity=8)
+        tree_s = str_bulk_load(items_s, dir_capacity=16, data_capacity=16)
+        assert tree_r.height > tree_s.height
+        result = sequential_join(tree_r, tree_s)
+        assert result.pair_set() == brute_pairs(items_r, items_s)
+
+    def test_unequal_heights_other_side(self):
+        items_r = random_items(12, 6)
+        items_s = random_items(500, 7)
+        tree_r = str_bulk_load(items_r, dir_capacity=16, data_capacity=16)
+        tree_s = str_bulk_load(items_s, dir_capacity=8, data_capacity=8)
+        result = sequential_join(tree_r, tree_s)
+        assert result.pair_set() == brute_pairs(items_r, items_s)
+
+    def test_self_join(self):
+        items = random_items(200, 8)
+        tree = str_bulk_load(items, dir_capacity=8, data_capacity=8)
+        result = sequential_join(tree, tree)
+        want = brute_pairs(items, items)
+        assert result.pair_set() == want
+        # Every object intersects itself.
+        assert all((i, i) in want for i, _ in items)
+
+
+class TestTuningTechniques:
+    def setup_method(self):
+        self.items_r = random_items(400, 20)
+        self.items_s = random_items(400, 21)
+        self.tree_r = str_bulk_load(self.items_r, dir_capacity=10, data_capacity=10)
+        self.tree_s = str_bulk_load(self.items_s, dir_capacity=10, data_capacity=10)
+        self.expected = brute_pairs(self.items_r, self.items_s)
+
+    @pytest.mark.parametrize("restriction", [True, False])
+    @pytest.mark.parametrize("sweep", [True, False])
+    def test_all_variants_agree(self, restriction, sweep):
+        result = sequential_join(
+            self.tree_r,
+            self.tree_s,
+            use_restriction=restriction,
+            use_sweep=sweep,
+        )
+        assert result.pair_set() == self.expected
+
+    def test_sweep_reduces_tests(self):
+        with_sweep = sequential_join(self.tree_r, self.tree_s, use_sweep=True, use_restriction=False)
+        without = sequential_join(self.tree_r, self.tree_s, use_sweep=False, use_restriction=False)
+        assert with_sweep.intersection_tests < without.intersection_tests
+
+    def test_restriction_reduces_sweep_tests(self):
+        # On clustered data, restriction prunes entries before the sweep.
+        with_restriction = sequential_join(self.tree_r, self.tree_s)
+        assert with_restriction.pair_set() == self.expected
+
+    def test_plane_sweep_order_of_candidates(self):
+        # With the sweep, candidates come out in nondecreasing sweep-stop
+        # order *within each leaf pair*; globally the DFS groups them.
+        result = sequential_join(self.tree_r, self.tree_s)
+        assert result.candidates == len(self.expected)
+
+    def test_node_pairs_visited_counted(self):
+        result = sequential_join(self.tree_r, self.tree_s)
+        assert result.node_pairs_visited >= 1
+
+
+class TestRefinementIntegration:
+    def test_exact_refinement_drops_false_hits(self):
+        # Crossing diagonals intersect; parallel diagonals don't, although
+        # their MBRs do.
+        geo_r = {0: ((0.0, 0.0), (1.0, 1.0))}
+        geo_s = {
+            0: ((0.0, 1.0), (1.0, 0.0)),   # crosses r0
+            1: ((0.05, 0.0), (1.0, 0.95)),  # parallel-ish: MBR hit only
+        }
+        items_r = [(0, Rect(0, 0, 1, 1))]
+        items_s = [(0, Rect(0, 0, 1, 1)), (1, Rect(0.05, 0, 1, 0.95))]
+        tree_r = str_bulk_load(items_r, dir_capacity=4, data_capacity=4)
+        tree_s = str_bulk_load(items_s, dir_capacity=4, data_capacity=4)
+
+        unfiltered = sequential_join(tree_r, tree_s)
+        assert unfiltered.pair_set() == {(0, 0), (0, 1)}
+
+        refinement = ExactRefinement(geo_r, geo_s)
+        filtered = sequential_join(tree_r, tree_s, refinement=refinement)
+        assert filtered.pair_set() == {(0, 0)}
+        assert refinement.tests == 2

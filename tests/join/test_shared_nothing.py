@@ -1,0 +1,122 @@
+"""Tests for the shared-nothing join (paper's future-work architecture)."""
+
+import pytest
+
+from repro.datagen import build_tree, paper_maps
+from repro.join import prepare_trees, sequential_join
+from repro.join.assignment import AssignmentMode
+from repro.join.shared_nothing import (
+    NetworkParams,
+    Placement,
+    SharedNothingConfig,
+    shared_nothing_join,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    m1, m2 = paper_maps(scale=0.02)
+    tree_r, tree_s = build_tree(m1), build_tree(m2)
+    page_store = prepare_trees(tree_r, tree_s)
+    expected = sequential_join(tree_r, tree_s).pair_set()
+    return tree_r, tree_s, page_store, expected
+
+
+def run(workload, **kwargs):
+    tree_r, tree_s, page_store, _ = workload
+    return shared_nothing_join(
+        tree_r, tree_s, SharedNothingConfig(**kwargs), page_store=page_store
+    )
+
+
+class TestNetworkParams:
+    def test_derived_times(self):
+        net = NetworkParams(latency=1e-3, bandwidth_mb_per_s=4.0, page_size=4096)
+        assert net.page_transfer_time == pytest.approx(4096 / (4 * 1024 * 1024))
+        assert net.request_round_trip == pytest.approx(2e-3 + net.page_transfer_time)
+        assert net.control_round_trip == pytest.approx(2e-3)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("placement", list(Placement), ids=lambda p: p.value)
+    @pytest.mark.parametrize(
+        "assignment",
+        [AssignmentMode.STATIC_RANGE, AssignmentMode.STATIC_ROUND_ROBIN,
+         AssignmentMode.DYNAMIC],
+        ids=["range", "rr", "dynamic"],
+    )
+    def test_every_combination_matches_sequential(
+        self, workload, placement, assignment
+    ):
+        result = run(
+            workload,
+            processors=4,
+            buffer_pages_per_processor=40,
+            placement=placement,
+            assignment=assignment,
+        )
+        assert result.pair_set() == workload[3]
+
+    def test_single_node(self, workload):
+        result = run(workload, processors=1, buffer_pages_per_processor=100)
+        assert result.pair_set() == workload[3]
+        assert result.metrics["remote_fetches"] == 0
+
+    def test_no_duplicate_candidates(self, workload):
+        result = run(workload, processors=6, buffer_pages_per_processor=40)
+        total = sum(len(p) for p in result.pairs_by_processor)
+        assert total == len(result.pair_set())
+
+    def test_deterministic(self, workload):
+        a = run(workload, processors=4, buffer_pages_per_processor=40)
+        b = run(workload, processors=4, buffer_pages_per_processor=40)
+        assert a.response_time == b.response_time
+        assert a.disk_accesses == b.disk_accesses
+
+
+class TestArchitectureBehaviour:
+    def test_remote_fetches_happen_with_multiple_nodes(self, workload):
+        result = run(workload, processors=4, buffer_pages_per_processor=40)
+        assert result.metrics["remote_fetches"] > 0
+
+    def test_spatial_placement_with_range_assignment_is_more_local(self, workload):
+        spatial = run(
+            workload,
+            processors=8,
+            buffer_pages_per_processor=40,
+            placement=Placement.SPATIAL,
+            assignment=AssignmentMode.STATIC_RANGE,
+        )
+        blind = run(
+            workload,
+            processors=8,
+            buffer_pages_per_processor=40,
+            placement=Placement.ROUND_ROBIN,
+            assignment=AssignmentMode.STATIC_RANGE,
+        )
+        # Spatial declustering aligned with spatially contiguous workloads
+        # keeps most page accesses on the owning node.
+        assert spatial.metrics["remote_fetches"] < blind.metrics["remote_fetches"]
+
+    def test_replication_allowed(self, workload):
+        # Unlike the SVM global buffer, remote pages are cached locally, so
+        # the same page may be buffered on several nodes; with tiny remote
+        # traffic that manifests as owner hits AND repeated disk reads
+        # being *possible* — here we just assert the counters exist and the
+        # run completes with consistent accounting.
+        result = run(workload, processors=4, buffer_pages_per_processor=40)
+        m = result.metrics
+        accesses = (
+            m["path_hits"] + m["lru_hits"] + m["remote_fetches"]
+            + m["disk_reads"] - m["owner_buffer_hits"]
+        )
+        assert accesses >= 0  # counters are wired up
+
+    def test_parallel_faster_than_single(self, workload):
+        single = run(workload, processors=1, buffer_pages_per_processor=100)
+        eight = run(workload, processors=8, buffer_pages_per_processor=40)
+        assert eight.response_time < single.response_time
+
+    def test_invalid_processor_count(self, workload):
+        with pytest.raises(ValueError):
+            run(workload, processors=0)

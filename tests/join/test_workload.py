@@ -1,0 +1,143 @@
+"""Tests for the per-processor workload and stealing rules (section 3.4)."""
+
+from repro.join import ReassignLevel, ReassignmentPolicy, VictimChoice, Workload
+from repro.rtree import Node
+
+
+def node(level):
+    return Node(level)
+
+
+class TestWorkloadOrdering:
+    def test_pop_deepest_first(self):
+        wl = Workload(task_level=2)
+        a = (node(2), node(2))
+        wl.push_task(*a)
+        b = (node(1), node(1))
+        wl.push_pair(1, *b)
+        level, nr, ns = wl.pop_deepest()
+        assert level == 1
+        assert (nr, ns) == b
+
+    def test_fifo_within_level(self):
+        wl = Workload(task_level=1)
+        pairs = [(node(1), node(1)) for _ in range(3)]
+        for p in pairs:
+            wl.push_task(*p)
+        popped = [wl.pop_deepest()[1:] for _ in range(3)]
+        assert popped == pairs
+
+    def test_dfs_interleaving(self):
+        # Children pushed after popping a parent are consumed before the
+        # next parent — depth-first order.
+        wl = Workload(task_level=1)
+        parent_a = (node(1), node(1))
+        parent_b = (node(1), node(1))
+        wl.push_task(*parent_a)
+        wl.push_task(*parent_b)
+        level, *got_a = wl.pop_deepest()
+        child = (node(0), node(0))
+        wl.push_pair(0, *child)
+        level, nr, ns = wl.pop_deepest()
+        assert level == 0  # child before parent_b
+        assert (nr, ns) == child
+
+    def test_empty_pop_returns_none(self):
+        wl = Workload(task_level=1)
+        assert wl.pop_deepest() is None
+        assert wl.empty
+        assert len(wl) == 0
+
+    def test_len_tracks_pushes_and_pops(self):
+        wl = Workload(task_level=1)
+        wl.push_task(node(1), node(1))
+        wl.push_pair(0, node(0), node(0))
+        assert len(wl) == 2
+        wl.pop_deepest()
+        assert len(wl) == 1
+
+
+class TestReporting:
+    def test_highest_pending(self):
+        wl = Workload(task_level=2)
+        wl.push_pair(0, node(0), node(0))
+        wl.push_pair(0, node(0), node(0))
+        wl.push_pair(2, node(2), node(2))
+        assert wl.highest_pending() == (2, 1)
+
+    def test_highest_pending_empty(self):
+        assert Workload(task_level=2).highest_pending() is None
+
+
+class TestStealingRules:
+    def test_steal_takes_half_from_back(self):
+        wl = Workload(task_level=1)
+        pairs = [(node(1), node(1)) for _ in range(6)]
+        for p in pairs:
+            wl.push_task(*p)
+        stolen = wl.steal_from(1)
+        assert stolen == pairs[3:]  # back half, original order
+        assert len(wl) == 3
+        remaining = [wl.pop_deepest()[1:] for _ in range(3)]
+        assert remaining == [tuple(p) for p in pairs[:3]]
+
+    def test_steal_single_pair(self):
+        wl = Workload(task_level=1)
+        only = (node(1), node(1))
+        wl.push_task(*only)
+        assert wl.steal_from(1) == [only]
+        assert wl.empty
+
+    def test_steal_from_empty_level(self):
+        wl = Workload(task_level=1)
+        assert wl.steal_from(1) == []
+
+    def test_stealable_level_none_policy(self):
+        wl = Workload(task_level=2)
+        wl.push_task(node(2), node(2))
+        assert wl.stealable_level(ReassignLevel.NONE) is None
+
+    def test_stealable_level_root_policy(self):
+        wl = Workload(task_level=2)
+        wl.push_pair(1, node(1), node(1))
+        # Only deeper pairs pending: root policy finds nothing.
+        assert wl.stealable_level(ReassignLevel.ROOT) is None
+        wl.push_task(node(2), node(2))
+        assert wl.stealable_level(ReassignLevel.ROOT) == 2
+
+    def test_stealable_level_all_policy(self):
+        wl = Workload(task_level=2)
+        wl.push_pair(0, node(0), node(0))
+        wl.push_pair(1, node(1), node(1))
+        assert wl.stealable_level(ReassignLevel.ALL) == 1
+
+    def test_no_pairs_lost_or_duplicated_by_stealing(self):
+        wl = Workload(task_level=1)
+        pairs = [(node(1), node(1)) for _ in range(9)]
+        for p in pairs:
+            wl.push_task(*p)
+        thief = Workload(task_level=1)
+        stolen = wl.steal_from(1)
+        for s in stolen:
+            thief.push_pair(1, *s)
+        drained = []
+        for source in (wl, thief):
+            while True:
+                item = source.pop_deepest()
+                if item is None:
+                    break
+                drained.append(item[1:])
+        assert sorted(map(id, (p for pair in drained for p in pair))) == sorted(
+            map(id, (n for pair in pairs for n in pair))
+        )
+
+
+class TestPolicy:
+    def test_enabled(self):
+        assert not ReassignmentPolicy(level=ReassignLevel.NONE).enabled
+        assert ReassignmentPolicy(level=ReassignLevel.ROOT).enabled
+        assert ReassignmentPolicy(level=ReassignLevel.ALL).enabled
+
+    def test_rng_seeded(self):
+        p = ReassignmentPolicy(victim=VictimChoice.ARBITRARY, seed=5)
+        assert p.make_rng().random() == p.make_rng().random()

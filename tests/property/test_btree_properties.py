@@ -1,0 +1,61 @@
+"""Model-based property tests for the B+-tree (z-order substrate)."""
+
+import bisect
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.zorder import BPlusTree
+
+keys = st.integers(min_value=0, max_value=500)
+
+
+class TestBPlusTreeAgainstSortedList:
+    @given(st.integers(4, 16), st.lists(keys, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_items_match_reference(self, order, inserted):
+        tree = BPlusTree(order=order)
+        reference = []
+        for key in inserted:
+            tree.insert(key, key * 2)
+            bisect.insort(reference, key)
+        assert [k for k, _ in tree.items()] == reference
+        assert all(v == k * 2 for k, v in tree.items())
+        assert len(tree) == len(reference)
+        tree.validate()
+
+    @given(
+        st.integers(4, 12),
+        st.lists(keys, max_size=200),
+        keys,
+        keys,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_range_scan_matches_reference(self, order, inserted, a, b):
+        low, high = min(a, b), max(a, b)
+        tree = BPlusTree(order=order)
+        for key in inserted:
+            tree.insert(key, None)
+        got = [k for k, _ in tree.range(low, high)]
+        want = sorted(k for k in inserted if low <= k <= high)
+        assert got == want
+
+    @given(st.lists(keys, min_size=1, max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_duplicates_all_retrievable(self, inserted):
+        tree = BPlusTree(order=5)
+        for index, key in enumerate(inserted):
+            tree.insert(key, index)
+        for key in set(inserted):
+            values = [v for _, v in tree.range(key, key)]
+            want = [i for i, k in enumerate(inserted) if k == key]
+            assert sorted(values) == want
+
+    @given(st.lists(keys, max_size=250))
+    @settings(max_examples=30, deadline=None)
+    def test_height_logarithmic(self, inserted):
+        tree = BPlusTree(order=8)
+        for key in inserted:
+            tree.insert(key, None)
+        # order-8 tree: each level multiplies capacity by >= 4.
+        assert tree.height <= 2 + max(0, len(inserted)).bit_length()

@@ -1,0 +1,127 @@
+"""Property-based tests for the LRU buffer and the simulation resources."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffer import LRUBuffer
+from repro.sim import Environment, Resource
+
+
+class ReferenceLRU:
+    """Obviously-correct LRU model to check the real buffer against."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.pages = OrderedDict()
+
+    def touch(self, page):
+        if page in self.pages:
+            self.pages.move_to_end(page)
+            return True
+        return False
+
+    def insert(self, page):
+        if page in self.pages:
+            self.pages.move_to_end(page)
+            return None
+        evicted = None
+        if len(self.pages) >= self.capacity:
+            evicted, _ = self.pages.popitem(last=False)
+        self.pages[page] = None
+        return evicted
+
+
+operations = st.lists(
+    st.tuples(st.sampled_from(["touch", "insert", "remove"]), st.integers(0, 20)),
+    max_size=200,
+)
+
+
+class TestLRUAgainstModel:
+    @given(st.integers(1, 8), operations)
+    @settings(max_examples=80, deadline=None)
+    def test_behaves_like_reference(self, capacity, ops):
+        real = LRUBuffer(capacity)
+        model = ReferenceLRU(capacity)
+        for op, page in ops:
+            if op == "touch":
+                assert real.touch(page) == model.touch(page)
+            elif op == "insert":
+                assert real.insert(page) == model.insert(page)
+            else:
+                real.remove(page)
+                model.pages.pop(page, None)
+            assert list(real.pages()) == list(model.pages)
+            assert len(real) <= capacity
+
+
+class TestResourceProperties:
+    @given(
+        st.integers(1, 4),
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=50, allow_nan=False),  # arrival
+                st.floats(min_value=0.1, max_value=10, allow_nan=False),  # service
+            ),
+            min_size=1,
+            max_size=25,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_never_exceeded_and_work_conserved(self, capacity, jobs):
+        env = Environment()
+        resource = Resource(env, capacity=capacity)
+        active = [0]
+        max_active = [0]
+        spans = []
+
+        def job(arrival, service):
+            yield env.timeout(arrival)
+            yield resource.acquire()
+            active[0] += 1
+            max_active[0] = max(max_active[0], active[0])
+            start = env.now
+            try:
+                yield env.timeout(service)
+            finally:
+                active[0] -= 1
+                resource.release()
+            spans.append((start, env.now))
+
+        for arrival, service in jobs:
+            env.process(job(arrival, service))
+        total = env.run()
+
+        assert max_active[0] <= capacity
+        assert len(spans) == len(jobs)  # every job ran to completion
+        # Work conservation: the makespan is at least total work / capacity
+        # and at most last arrival + total work (single server worst case).
+        work = sum(service for _, service in jobs)
+        last_arrival = max(arrival for arrival, _ in jobs)
+        assert total >= work / capacity - 1e-9
+        assert total <= last_arrival + work + 1e-9
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=5, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_single_server_serialises_exactly(self, services):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+
+        def job(service):
+            yield resource.acquire()
+            try:
+                yield env.timeout(service)
+            finally:
+                resource.release()
+
+        for service in services:
+            env.process(job(service))
+        assert env.run() == sum(services)

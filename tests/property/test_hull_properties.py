@@ -1,0 +1,88 @@
+"""Property-based tests for convex hulls and the SAT intersection test."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Polygon
+from repro.geometry.hull import ConvexPolygon, convex_hull
+
+# Integer-valued coordinates: hull predicates use exact float arithmetic
+# there, so the properties hold exactly (arbitrary floats fail only by
+# epsilon-scale near-degeneracies, which is inherent to the algorithm).
+coords = st.integers(min_value=-100, max_value=100).map(float)
+point_st = st.tuples(coords, coords)
+points_st = st.lists(point_st, min_size=1, max_size=30)
+
+
+class TestHullProperties:
+    @given(points_st)
+    @settings(max_examples=100, deadline=None)
+    def test_hull_vertices_are_input_points(self, points):
+        hull = convex_hull(points)
+        assert set(hull) <= set(points)
+
+    @given(points_st)
+    @settings(max_examples=100, deadline=None)
+    def test_hull_contains_every_input_point(self, points):
+        hull = convex_hull(points)
+        polygon = ConvexPolygon(hull)
+        for x, y in points:
+            assert polygon.contains_point(x, y)
+
+    @given(points_st)
+    @settings(max_examples=60, deadline=None)
+    def test_hull_is_convex(self, points):
+        hull = convex_hull(points)
+        if len(hull) < 3:
+            return
+        n = len(hull)
+        for i in range(n):
+            ox, oy = hull[i]
+            ax, ay = hull[(i + 1) % n]
+            bx, by = hull[(i + 2) % n]
+            cross = (ax - ox) * (by - oy) - (ay - oy) * (bx - ox)
+            assert cross > 0  # strictly convex (collinear points dropped)
+
+    @given(points_st)
+    @settings(max_examples=60, deadline=None)
+    def test_hull_idempotent(self, points):
+        hull = convex_hull(points)
+        assert convex_hull(hull) == sorted_ring(hull)
+
+
+def sorted_ring(hull):
+    # convex_hull output starts at the lexicographically smallest point;
+    # re-hulling a hull returns the same ring with the same start.
+    return convex_hull(hull)
+
+
+class TestSATProperties:
+    @given(
+        st.lists(point_st, min_size=3, max_size=12),
+        st.lists(point_st, min_size=3, max_size=12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_sat_matches_boundary_based_test(self, points_a, points_b):
+        hull_a = convex_hull(points_a)
+        hull_b = convex_hull(points_b)
+        if len(hull_a) < 3 or len(hull_b) < 3:
+            return
+        sat = ConvexPolygon(hull_a).intersects(ConvexPolygon(hull_b))
+        reference = Polygon(hull_a).intersects_polygon(Polygon(hull_b))
+        assert sat == reference
+
+    @given(
+        st.lists(point_st, min_size=1, max_size=12),
+        st.lists(point_st, min_size=1, max_size=12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_sat_symmetric(self, points_a, points_b):
+        a = ConvexPolygon.of(points_a)
+        b = ConvexPolygon.of(points_b)
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(st.lists(point_st, min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_self_intersection(self, points):
+        polygon = ConvexPolygon.of(points)
+        assert polygon.intersects(polygon)

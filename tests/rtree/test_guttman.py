@@ -1,0 +1,129 @@
+"""Tests for the Guttman R-tree baseline [Gut 84]."""
+
+import random
+
+import pytest
+
+from repro.geometry import Rect
+from repro.rtree import RStarTree
+from repro.rtree.guttman import GuttmanRTree
+
+
+def random_items(n, seed=0, extent=100.0, max_size=5.0):
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        x, y = rng.uniform(0, extent), rng.uniform(0, extent)
+        out.append((i, Rect(x, y, x + rng.uniform(0, max_size), y + rng.uniform(0, max_size))))
+    return out
+
+
+def build(items, **kwargs):
+    tree = GuttmanRTree(**kwargs)
+    for oid, rect in items:
+        tree.insert(oid, rect)
+    return tree
+
+
+class TestConstruction:
+    def test_default_capacities(self):
+        tree = GuttmanRTree()
+        assert tree.dir_capacity == 102
+        assert tree.data_capacity == 26
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(ValueError):
+            GuttmanRTree(split="cubic")
+
+    def test_small_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            GuttmanRTree(data_capacity=2)
+
+    def test_bad_min_fill_rejected(self):
+        with pytest.raises(ValueError):
+            GuttmanRTree(min_fill=0.9)
+
+
+@pytest.mark.parametrize("split", ["quadratic", "linear"])
+class TestInsertAndSearch:
+    def test_invariants_after_many_inserts(self, split):
+        tree = build(random_items(400, seed=1), dir_capacity=8, data_capacity=8, split=split)
+        assert len(tree) == 400
+        assert tree.height >= 3
+        tree.validate()
+
+    def test_window_query_matches_brute_force(self, split):
+        items = random_items(300, seed=2)
+        tree = build(items, dir_capacity=8, data_capacity=8, split=split)
+        rng = random.Random(3)
+        for _ in range(15):
+            x, y = rng.uniform(0, 90), rng.uniform(0, 90)
+            window = Rect(x, y, x + rng.uniform(1, 25), y + rng.uniform(1, 25))
+            got = sorted(e.oid for e in tree.search(window))
+            want = sorted(i for i, r in items if r.intersects(window))
+            assert got == want
+
+    def test_duplicates_and_degenerates(self, split):
+        tree = GuttmanRTree(dir_capacity=5, data_capacity=5, split=split)
+        for i in range(40):
+            tree.insert(i, Rect(1, 1, 1, 1))
+        tree.validate()
+        assert len(tree.search(Rect(0, 0, 2, 2))) == 40
+
+    def test_mbr_covers_everything(self, split):
+        items = random_items(120, seed=4)
+        tree = build(items, dir_capacity=6, data_capacity=6, split=split)
+        mbr = tree.mbr()
+        for _, rect in items:
+            assert mbr.contains(rect)
+
+
+class TestBaselineVsRStar:
+    def test_same_query_answers(self):
+        items = random_items(500, seed=5)
+        guttman = build(items, dir_capacity=8, data_capacity=8)
+        rstar = RStarTree(dir_capacity=8, data_capacity=8)
+        for oid, rect in items:
+            rstar.insert(oid, rect)
+        window = Rect(20, 20, 70, 70)
+        assert sorted(e.oid for e in guttman.search(window)) == sorted(
+            e.oid for e in rstar.search(window)
+        )
+
+    def test_rstar_directory_overlaps_less(self):
+        # The R*-tree's raison d'être for joins: less directory overlap on
+        # clustered data => fewer node pairs qualify.  Compare the total
+        # pairwise overlap area of the level-1 directory entries.
+        items = random_items(800, seed=6, extent=30.0)  # clustered
+        guttman = build(items, dir_capacity=8, data_capacity=8)
+        rstar = RStarTree(dir_capacity=8, data_capacity=8)
+        for oid, rect in items:
+            rstar.insert(oid, rect)
+
+        def leaf_overlap(tree):
+            leaves = [n for n in tree.nodes() if n.is_leaf]
+            rects = [Rect(*n.mbr_tuple()) for n in leaves]
+            total = 0.0
+            for i in range(len(rects)):
+                for j in range(i + 1, len(rects)):
+                    total += rects[i].intersection_area(rects[j])
+            return total / max(1, len(rects))
+
+        assert leaf_overlap(rstar) <= leaf_overlap(guttman)
+
+    def test_join_works_on_guttman_trees(self):
+        # The sequential join is tree-agnostic: it only needs nodes/entries.
+        from repro.join import sequential_join
+
+        items_r = random_items(200, seed=7)
+        items_s = random_items(200, seed=8)
+        guttman_r = build(items_r, dir_capacity=8, data_capacity=8)
+        guttman_s = build(items_s, dir_capacity=8, data_capacity=8)
+        got = sequential_join(guttman_r, guttman_s).pair_set()
+        want = {
+            (i, j)
+            for i, r in items_r
+            for j, s in items_s
+            if r.intersects(s)
+        }
+        assert got == want

@@ -1,0 +1,80 @@
+"""Unit tests for metrics counters and processor-time records."""
+
+import pytest
+
+from repro.sim import Metrics, ProcessorTimes
+
+
+class TestMetrics:
+    def test_add_and_read(self):
+        m = Metrics()
+        m.add("candidates")
+        m.add("candidates", 4)
+        assert m["candidates"] == 5
+        assert m["unknown"] == 0
+
+    def test_disk_read_recording(self):
+        m = Metrics()
+        m.record_disk_read(0)
+        m.record_disk_read(0)
+        m.record_disk_read(3)
+        assert m.disk_accesses == 3
+        assert m.per_disk_reads[0] == 2
+        assert m.per_disk_reads[3] == 1
+
+    def test_buffer_hits_property(self):
+        m = Metrics()
+        m.add("lru_hits", 2)
+        m.add("path_hits", 3)
+        assert m.buffer_hits == 5
+
+    def test_remote_hits_property(self):
+        m = Metrics()
+        m.add("remote_hits", 7)
+        assert m.remote_hits == 7
+
+    def test_merge(self):
+        a = Metrics()
+        a.add("x", 1)
+        a.record_disk_read(0)
+        b = Metrics()
+        b.add("x", 2)
+        b.add("y", 5)
+        b.record_disk_read(1)
+        a.merge(b)
+        assert a["x"] == 3
+        assert a["y"] == 5
+        assert a.disk_accesses == 2
+        assert a.per_disk_reads[1] == 1
+
+    def test_as_dict(self):
+        m = Metrics()
+        m.add("x", 2)
+        assert m.as_dict() == {"x": 2}
+
+    def test_repr(self):
+        m = Metrics()
+        m.add("x")
+        assert "x=1" in repr(m)
+
+
+class TestProcessorTimes:
+    def test_derived_quantities(self):
+        t = ProcessorTimes(3)
+        t.finish = [5.0, 2.0, 8.0]
+        t.busy = [4.0, 2.0, 7.5]
+        assert t.response_time == 8.0
+        assert t.first_finish == 2.0
+        assert t.average_finish == pytest.approx(5.0)
+        assert t.total_run_time == pytest.approx(13.5)
+        assert t.n == 3
+
+    def test_empty(self):
+        t = ProcessorTimes(0)
+        assert t.response_time == 0.0
+        assert t.first_finish == 0.0
+        assert t.average_finish == 0.0
+
+    def test_repr(self):
+        t = ProcessorTimes(2)
+        assert "n=2" in repr(t)

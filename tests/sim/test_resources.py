@@ -1,0 +1,282 @@
+"""Unit tests for FCFS resources and FIFO stores."""
+
+import pytest
+
+from repro.sim import Environment, Lock, Resource, SimulationError, Store
+
+
+class TestResource:
+    def test_capacity_one_serialises(self):
+        env = Environment()
+        disk = Resource(env, capacity=1, name="disk")
+        log = []
+
+        def user(name):
+            yield disk.acquire()
+            try:
+                log.append((name, "start", env.now))
+                yield env.timeout(10)
+            finally:
+                disk.release()
+            log.append((name, "end", env.now))
+
+        env.process(user("a"))
+        env.process(user("b"))
+        env.run()
+        assert log == [
+            ("a", "start", 0.0),
+            ("a", "end", 10.0),
+            ("b", "start", 10.0),
+            ("b", "end", 20.0),
+        ]
+
+    def test_fcfs_order(self):
+        env = Environment()
+        disk = Resource(env, capacity=1)
+        order = []
+
+        def user(name, arrival):
+            yield env.timeout(arrival)
+            yield disk.acquire()
+            try:
+                order.append(name)
+                yield env.timeout(5)
+            finally:
+                disk.release()
+
+        env.process(user("third", 2))
+        env.process(user("first", 0))
+        env.process(user("second", 1))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+    def test_capacity_two_parallel(self):
+        env = Environment()
+        pool = Resource(env, capacity=2)
+        ends = []
+
+        def user():
+            yield pool.acquire()
+            try:
+                yield env.timeout(10)
+            finally:
+                pool.release()
+            ends.append(env.now)
+
+        for _ in range(4):
+            env.process(user())
+        env.run()
+        assert ends == [10.0, 10.0, 20.0, 20.0]
+
+    def test_release_idle_raises(self):
+        env = Environment()
+        r = Resource(env)
+        with pytest.raises(SimulationError):
+            r.release()
+
+    def test_zero_capacity_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+    def test_wait_time_accounting(self):
+        env = Environment()
+        disk = Resource(env, capacity=1)
+
+        def user():
+            yield disk.acquire()
+            try:
+                yield env.timeout(8)
+            finally:
+                disk.release()
+
+        env.process(user())
+        env.process(user())
+        env.run()
+        assert disk.total_acquisitions == 2
+        assert disk.total_wait_time == 8.0  # second user waited 8
+
+    def test_held_helper(self):
+        env = Environment()
+        disk = Resource(env, capacity=1)
+
+        def user():
+            yield env.process(disk.held(6))
+
+        env.process(user())
+        env.process(user())
+        assert env.run() == 12.0
+        assert disk.in_use == 0
+
+    def test_queue_length_visible(self):
+        env = Environment()
+        disk = Resource(env, capacity=1)
+        seen = []
+
+        def holder():
+            yield disk.acquire()
+            yield env.timeout(10)
+            seen.append(disk.queue_length)
+            disk.release()
+
+        def waiter():
+            yield env.timeout(1)
+            yield disk.acquire()
+            disk.release()
+
+        env.process(holder())
+        env.process(waiter())
+        env.run()
+        assert seen == [1]
+
+    def test_lock_is_capacity_one(self):
+        env = Environment()
+        assert Lock(env).capacity == 1
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def getter():
+            item = yield store.get()
+            got.append(item)
+
+        store.put("x")
+        env.process(getter())
+        env.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def getter():
+            item = yield store.get()
+            got.append((env.now, item))
+
+        def putter():
+            yield env.timeout(5)
+            store.put("late")
+
+        env.process(getter())
+        env.process(putter())
+        env.run()
+        assert got == [(5.0, "late")]
+
+    def test_fifo_items_and_getters(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def getter(name):
+            item = yield store.get()
+            got.append((name, item))
+
+        env.process(getter("g1"))
+        env.process(getter("g2"))
+
+        def putter():
+            yield env.timeout(1)
+            store.put("a")
+            store.put("b")
+
+        env.process(putter())
+        env.run()
+        assert got == [("g1", "a"), ("g2", "b")]
+
+    def test_close_releases_waiters_with_default(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def getter():
+            item = yield store.get()
+            got.append(item)
+
+        env.process(getter())
+
+        def closer():
+            yield env.timeout(3)
+            store.close(default=None)
+
+        env.process(closer())
+        env.run()
+        assert got == [None]
+
+    def test_get_after_close_returns_default(self):
+        env = Environment()
+        store = Store(env)
+        store.close(default="empty")
+        got = []
+
+        def getter():
+            item = yield store.get()
+            got.append(item)
+
+        env.process(getter())
+        env.run()
+        assert got == ["empty"]
+
+    def test_items_drained_before_close_default(self):
+        env = Environment()
+        store = Store(env)
+        store.put(1)
+        store.close()
+        got = []
+
+        def getter():
+            got.append((yield store.get()))
+            got.append((yield store.get()))
+
+        env.process(getter())
+        env.run()
+        assert got == [1, None]
+
+    def test_put_after_close_raises(self):
+        env = Environment()
+        store = Store(env)
+        store.close()
+        with pytest.raises(SimulationError):
+            store.put("x")
+
+    def test_len(self):
+        env = Environment()
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestStoreEdgeCases:
+    def test_close_idempotent(self):
+        env = Environment()
+        store = Store(env)
+        store.close(default="done")
+        store.close(default="done")
+        got = []
+
+        def getter():
+            got.append((yield store.get()))
+
+        env.process(getter())
+        env.run()
+        assert got == ["done"]
+
+    def test_closed_property(self):
+        env = Environment()
+        store = Store(env)
+        assert not store.closed
+        store.close()
+        assert store.closed
+
+    def test_repr(self):
+        env = Environment()
+        store = Store(env, name="tasks")
+        store.put(1)
+        assert "tasks" in repr(store)
+        resource = Resource(env, name="disk")
+        assert "disk" in repr(resource)

@@ -1,0 +1,226 @@
+"""Tests for the z-order curve, the B+-tree and the [OM 88] join."""
+
+import random
+
+import pytest
+
+from repro.geometry import Rect
+from repro.zorder import (
+    BPlusTree,
+    Quantizer,
+    ZRegion,
+    decompose,
+    interleave,
+    zorder_join,
+)
+
+UNIT = Rect(0, 0, 1, 1)
+
+
+class TestInterleave:
+    def test_known_values(self):
+        assert interleave(0, 0, 4) == 0
+        assert interleave(1, 0, 4) == 0b01
+        assert interleave(0, 1, 4) == 0b10
+        assert interleave(3, 3, 4) == 0b1111
+        assert interleave(0b10, 0b01, 4) == 0b0110
+
+    def test_bijective_on_grid(self):
+        bits = 4
+        codes = {
+            interleave(ix, iy, bits)
+            for ix in range(1 << bits)
+            for iy in range(1 << bits)
+        }
+        assert len(codes) == 1 << (2 * bits)
+        assert min(codes) == 0
+        assert max(codes) == (1 << (2 * bits)) - 1
+
+    def test_locality_of_quadrants(self):
+        # All cells of the lower-left quadrant come before any cell of the
+        # upper-right quadrant.
+        bits = 3
+        half = 1 << (bits - 1)
+        lower_left = max(
+            interleave(ix, iy, bits) for ix in range(half) for iy in range(half)
+        )
+        upper_right = min(
+            interleave(ix, iy, bits)
+            for ix in range(half, 2 * half)
+            for iy in range(half, 2 * half)
+        )
+        assert lower_left < upper_right
+
+
+class TestQuantizer:
+    def test_cell_of_corners(self):
+        q = Quantizer(UNIT, bits=4)
+        assert q.cell_of(0, 0) == (0, 0)
+        assert q.cell_of(1, 1) == (15, 15)  # clamped to the last cell
+
+    def test_out_of_bounds_clamped(self):
+        q = Quantizer(UNIT, bits=4)
+        assert q.cell_of(-5, 2) == (0, 15)
+
+    def test_bits_validated(self):
+        with pytest.raises(ValueError):
+            Quantizer(UNIT, bits=0)
+
+    def test_degenerate_bounds(self):
+        q = Quantizer(Rect(1, 1, 1, 1), bits=4)
+        assert q.cell_of(1, 1) == (0, 0)
+
+
+class TestDecompose:
+    def cells_of(self, regions):
+        cells = set()
+        for region in regions:
+            cells.update(range(region.lo, region.hi + 1))
+        return cells
+
+    def test_full_space_single_region(self):
+        q = Quantizer(UNIT, bits=4)
+        regions = decompose(UNIT, q, max_regions=4)
+        assert len(regions) == 1
+        assert regions[0] == ZRegion(0, (1 << 8) - 1, 0)
+
+    def test_coverage_is_conservative(self):
+        q = Quantizer(UNIT, bits=5)
+        rect = Rect(0.2, 0.3, 0.55, 0.7)
+        regions = decompose(rect, q, max_regions=8)
+        covered = self.cells_of(regions)
+        ix0, iy0, ix1, iy1 = q.grid_rect(rect)
+        for ix in range(ix0, ix1 + 1):
+            for iy in range(iy0, iy1 + 1):
+                assert interleave(ix, iy, q.bits) in covered
+
+    def test_regions_disjoint_and_sorted(self):
+        q = Quantizer(UNIT, bits=6)
+        rect = Rect(0.1, 0.1, 0.8, 0.4)
+        regions = decompose(rect, q, max_regions=8)
+        for a, b in zip(regions, regions[1:]):
+            assert a.hi < b.lo
+
+    def test_more_regions_tighter(self):
+        q = Quantizer(UNIT, bits=8)
+        rect = Rect(0.3, 0.3, 0.35, 0.35)
+        loose = self.cells_of(decompose(rect, q, max_regions=1))
+        tight = self.cells_of(decompose(rect, q, max_regions=16))
+        assert tight <= loose
+        assert len(tight) < len(loose)
+
+    def test_max_regions_validated(self):
+        q = Quantizer(UNIT, bits=4)
+        with pytest.raises(ValueError):
+            decompose(UNIT, q, max_regions=0)
+
+    def test_point_rect(self):
+        q = Quantizer(UNIT, bits=6)
+        regions = decompose(Rect(0.5, 0.5, 0.5, 0.5), q, max_regions=16)
+        assert self.cells_of(regions)  # non-empty cover
+
+
+class TestBPlusTree:
+    def test_order_validated(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_items_sorted(self):
+        tree = BPlusTree(order=4)
+        rng = random.Random(1)
+        keys = [rng.randint(0, 1000) for _ in range(500)]
+        for key in keys:
+            tree.insert(key, f"v{key}")
+        assert [k for k, _ in tree.items()] == sorted(keys)
+        assert len(tree) == 500
+        tree.validate()
+
+    def test_duplicates_preserved(self):
+        tree = BPlusTree(order=4)
+        for i in range(50):
+            tree.insert(7, i)
+        assert len(list(tree.range(7, 7))) == 50
+        tree.validate()
+
+    def test_range_scan(self):
+        tree = BPlusTree(order=4)
+        for key in range(100):
+            tree.insert(key, key * 10)
+        got = list(tree.range(30, 40))
+        assert got == [(k, k * 10) for k in range(30, 41)]
+
+    def test_range_empty(self):
+        tree = BPlusTree(order=4)
+        for key in (1, 5, 9):
+            tree.insert(key, None)
+        assert list(tree.range(6, 8)) == []
+        assert list(tree.range(10, 20)) == []
+
+    def test_height_grows(self):
+        tree = BPlusTree(order=4)
+        for key in range(200):
+            tree.insert(key, None)
+        assert tree.height >= 3
+        tree.validate()
+
+    def test_bulk_load(self):
+        tree = BPlusTree(order=8)
+        tree.bulk_load((k, k) for k in range(64))
+        assert len(tree) == 64
+        tree.validate()
+
+
+class TestZOrderJoin:
+    def random_items(self, n, seed, extent=1.0, size=0.05):
+        rng = random.Random(seed)
+        out = []
+        for i in range(n):
+            x = rng.uniform(0, extent * 0.95)
+            y = rng.uniform(0, extent * 0.95)
+            out.append(
+                (i, Rect(x, y, x + rng.uniform(0, size), y + rng.uniform(0, size)))
+            )
+        return out
+
+    def brute(self, items_r, items_s):
+        return {
+            (i, j)
+            for i, r in items_r
+            for j, s in items_s
+            if r.intersects(s)
+        }
+
+    @pytest.mark.parametrize("max_regions", [1, 4, 16])
+    def test_matches_brute_force(self, max_regions):
+        items_r = self.random_items(150, seed=1)
+        items_s = self.random_items(150, seed=2)
+        pairs, stats = zorder_join(
+            items_r, items_s, UNIT, bits=10, max_regions=max_regions
+        )
+        assert set(pairs) == self.brute(items_r, items_s)
+        assert len(pairs) == len(set(pairs))
+        assert stats.candidates == len(pairs)
+
+    def test_matches_rtree_filter(self):
+        from repro.join import sequential_join
+        from repro.rtree import str_bulk_load
+
+        items_r = self.random_items(300, seed=3)
+        items_s = self.random_items(300, seed=4)
+        z_pairs, _ = zorder_join(items_r, items_s, UNIT, bits=12)
+        tree_r = str_bulk_load(items_r, dir_capacity=10, data_capacity=10)
+        tree_s = str_bulk_load(items_s, dir_capacity=10, data_capacity=10)
+        assert set(z_pairs) == sequential_join(tree_r, tree_s).pair_set()
+
+    def test_more_regions_fewer_false_hits(self):
+        items_r = self.random_items(200, seed=5)
+        items_s = self.random_items(200, seed=6)
+        _, loose = zorder_join(items_r, items_s, UNIT, bits=12, max_regions=1)
+        _, tight = zorder_join(items_r, items_s, UNIT, bits=12, max_regions=16)
+        assert tight.z_false_hits <= loose.z_false_hits
+        assert tight.entries_r >= loose.entries_r  # the trade-off
+
+    def test_empty_inputs(self):
+        pairs, stats = zorder_join([], [], UNIT)
+        assert pairs == []
+        assert stats.candidates == 0
