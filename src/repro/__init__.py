@@ -39,6 +39,17 @@ from .join import (
 from .rtree import RStarTree, nearest_neighbors, str_bulk_load, tree_stats, window_query
 from .sim import KSR1_CONFIG, MachineConfig
 from .storage import DiskParams, StorageParams
+from .trace import (
+    EventKind,
+    InvariantViolation,
+    TraceConfig,
+    TraceEvent,
+    TraceHandle,
+    read_jsonl,
+    render_timeline,
+    run_checkers,
+    steal_timeline,
+)
 
 __version__ = "1.0.0"
 
@@ -77,5 +88,14 @@ __all__ = [
     "KSR1_CONFIG",
     "DiskParams",
     "StorageParams",
+    "TraceConfig",
+    "TraceHandle",
+    "TraceEvent",
+    "EventKind",
+    "InvariantViolation",
+    "read_jsonl",
+    "render_timeline",
+    "steal_timeline",
+    "run_checkers",
     "__version__",
 ]

@@ -9,7 +9,15 @@ from .figures import (
     figure8,
     figure9_and_10,
 )
-from .harness import Workload, active_scale, get_workload, run_join, scaled_pages
+from .harness import (
+    Workload,
+    active_scale,
+    get_workload,
+    run_join,
+    scaled_pages,
+    set_tracing,
+    trace_reports,
+)
 from .render import ascii_chart, heading, render_series, render_table, report
 from .tables import PAPER_TABLE1, table1_rows, table2_rows
 
@@ -19,6 +27,8 @@ __all__ = [
     "active_scale",
     "run_join",
     "scaled_pages",
+    "set_tracing",
+    "trace_reports",
     "table1_rows",
     "table2_rows",
     "PAPER_TABLE1",

@@ -5,6 +5,8 @@ Regenerates the paper's tables and figures without pytest:
     python -m repro.bench --list
     python -m repro.bench table1 fig5
     python -m repro.bench --scale 1.0 all
+    python -m repro.bench --trace fig7            # + invariant checkers
+    python -m repro.bench --trace --trace-jsonl /tmp/fig7.jsonl fig7
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ import argparse
 import sys
 import time
 
+from ..trace import TraceConfig
 from . import (
     ablation_task_order,
     ablation_tuning_techniques,
@@ -24,8 +27,10 @@ from . import (
     get_workload,
     heading,
     render_table,
+    set_tracing,
     table1_rows,
     table2_rows,
+    trace_reports,
 )
 
 EXPERIMENTS: dict[str, tuple[str, list[str]]] = {
@@ -81,6 +86,19 @@ def main(argv: list[str] | None = None) -> int:
         help="workload scale (default: REPRO_SCALE env var or 0.25)",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record event traces and run the invariant checkers on every "
+        "simulated join; verdict summaries are printed per experiment",
+    )
+    parser.add_argument(
+        "--trace-jsonl",
+        metavar="PATH",
+        default=None,
+        help="with --trace: additionally stream each run's events to "
+        "PATH (a run counter is inserted before the file suffix)",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -98,6 +116,10 @@ def main(argv: list[str] | None = None) -> int:
           f"({'paper size' if scale == 1.0 else 'scaled workload'})")
     workload = get_workload(scale)
 
+    if args.trace:
+        set_tracing(TraceConfig(jsonl_path=args.trace_jsonl))
+
+    failures = 0
     for name in wanted:
         title, columns = EXPERIMENTS.get(name, EXPERIMENTS["fig9"])
         started = time.perf_counter()
@@ -105,7 +127,16 @@ def main(argv: list[str] | None = None) -> int:
         elapsed = time.perf_counter() - started
         print(heading(f"{title}  [{elapsed:.1f} s]"))
         print(render_table(rows, columns))
-    return 0
+        if args.trace and trace_reports:
+            print(f"\ntrace verdicts ({len(trace_reports)} runs):")
+            for line in trace_reports:
+                print(f"  {line}")
+                if "VIOLATION" in line:
+                    failures += 1
+            trace_reports.clear()
+    if args.trace:
+        set_tracing(None)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

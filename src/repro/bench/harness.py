@@ -14,7 +14,8 @@ variable ``REPRO_SCALE=1.0`` to run the paper-size experiments.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Optional
 
 from ..datagen import MapData, build_tree, paper_maps
 from ..join import (
@@ -25,8 +26,17 @@ from ..join import (
 )
 from ..rtree.pagestore import PageStore
 from ..rtree.rstar import RStarTree
+from ..trace import TraceConfig
 
-__all__ = ["Workload", "get_workload", "active_scale", "run_join", "scaled_pages"]
+__all__ = [
+    "Workload",
+    "get_workload",
+    "active_scale",
+    "run_join",
+    "scaled_pages",
+    "set_tracing",
+    "trace_reports",
+]
 
 _CACHE: dict[float, "Workload"] = {}
 
@@ -72,8 +82,62 @@ def scaled_pages(paper_pages: int, scale: float) -> int:
     return max(4, round(paper_pages * scale))
 
 
+#: When set (``--trace`` on the CLI runner), every ``run_join`` without an
+#: explicit trace config runs traced and reports its checker verdicts.
+_FORCED_TRACE: Optional[TraceConfig] = None
+_RUN_COUNTER = 0
+
+#: One summary line per traced run since the last :func:`set_tracing` call.
+trace_reports: list[str] = []
+
+
+def set_tracing(trace: Optional[TraceConfig]) -> None:
+    """Force (or stop forcing) event tracing for subsequent runs."""
+    global _FORCED_TRACE, _RUN_COUNTER
+    _FORCED_TRACE = trace
+    _RUN_COUNTER = 0
+    trace_reports.clear()
+
+
 def run_join(workload: Workload, config: ParallelJoinConfig) -> ParallelJoinResult:
-    """One experiment run against the cached workload (cold buffers)."""
-    return parallel_spatial_join(
+    """One experiment run against the cached workload (cold buffers).
+
+    With tracing forced via :func:`set_tracing`, the run records its event
+    stream, executes the invariant checkers and appends a verdict summary
+    to :data:`trace_reports` (violations are also printed immediately —
+    a benchmark on an unlawful simulation is meaningless).
+    """
+    global _RUN_COUNTER
+    if _FORCED_TRACE is not None and config.trace is None:
+        trace = _FORCED_TRACE
+        if trace.jsonl_path is not None:
+            # One file per run: insert a counter before the suffix.
+            root, dot, ext = trace.jsonl_path.rpartition(".")
+            numbered = (
+                f"{root}.{_RUN_COUNTER:04d}.{ext}"
+                if dot
+                else f"{trace.jsonl_path}.{_RUN_COUNTER:04d}"
+            )
+            trace = replace(trace, jsonl_path=numbered)
+        config = replace(config, trace=trace)
+    result = parallel_spatial_join(
         workload.tree1, workload.tree2, config, page_store=workload.page_store
     )
+    if result.trace is not None:
+        _RUN_COUNTER += 1
+        handle = result.trace
+        label = (
+            f"run {_RUN_COUNTER:>3}: {config.variant.short_name} n={config.processors} "
+            f"d={config.disks} b={config.total_buffer_pages} "
+            f"reassign={config.reassignment.level.value}"
+        )
+        state = "ok" if handle.ok else "INVARIANT VIOLATIONS"
+        trace_reports.append(
+            f"{label} — {handle.events_emitted} events, {state}"
+        )
+        if not handle.ok:
+            for verdict in handle.failed:
+                print(f"[trace] {label}: {verdict.summary()}")
+                for violation in verdict.violations[:3]:
+                    print(f"[trace]   - {violation}")
+    return result

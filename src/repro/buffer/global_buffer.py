@@ -22,6 +22,7 @@ from typing import Generator, Optional
 from ..sim.engine import Environment, Event
 from ..sim.machine import Machine
 from ..sim.resources import Lock
+from ..trace import NULL_TRACER, EventKind, Tracer
 
 __all__ = ["GlobalDirectory"]
 
@@ -37,9 +38,10 @@ class GlobalDirectory:
     the global buffer's disk-access counts drop below the local ones.
     """
 
-    def __init__(self, machine: Machine):
+    def __init__(self, machine: Machine, tracer: Tracer = NULL_TRACER):
         self.machine = machine
         self.env: Environment = machine.env
+        self.tracer = tracer
         self._owner: dict[int, int] = {}
         self._loading: dict[int, Event] = {}
         self._latch = Lock(machine.env, name="global-directory")
@@ -78,6 +80,10 @@ class GlobalDirectory:
         """The claimed disk read completed: register and wake waiters."""
         yield from self._critical_section()
         self._owner[page_id] = owner
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.PAGE_REGISTERED, proc=owner, page=page_id
+            )
         pending = self._loading.pop(page_id, None)
         if pending is not None:
             pending.succeed()
@@ -86,6 +92,10 @@ class GlobalDirectory:
         """Record that *owner* just loaded *page_id* into its local buffer."""
         yield from self._critical_section()
         self._owner[page_id] = owner
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.PAGE_REGISTERED, proc=owner, page=page_id
+            )
 
     def deregister(self, page_id: int, owner: int) -> Generator:
         """Remove the entry when *owner* evicts *page_id*.
@@ -97,6 +107,10 @@ class GlobalDirectory:
         yield from self._critical_section()
         if self._owner.get(page_id) == owner:
             del self._owner[page_id]
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.PAGE_DEREGISTERED, proc=owner, page=page_id
+                )
 
     def _critical_section(self) -> Generator:
         yield self._latch.acquire()

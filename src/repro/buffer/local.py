@@ -24,6 +24,7 @@ from typing import Generator, Optional
 from ..sim.machine import Machine
 from ..storage.diskarray import DiskArray
 from ..storage.page import PageKind
+from ..trace import NULL_TRACER, EventKind, Tracer
 from .base import AccessSource
 from .global_buffer import GlobalDirectory
 from .lru import LRUBuffer
@@ -62,6 +63,7 @@ class ProcessorBufferManager:
         lru_capacity: int,
         tree_heights: dict[int, int],
         directory: Optional[GlobalDirectory] = None,
+        tracer: Tracer = NULL_TRACER,
     ):
         self.proc_id = proc_id
         self.machine = machine
@@ -72,6 +74,7 @@ class ProcessorBufferManager:
             tree_id: PathBuffer(height) for tree_id, height in tree_heights.items()
         }
         self.directory = directory
+        self.tracer = tracer
 
     def access(
         self, tree_id: int, level: int, page_id: int, kind: PageKind
@@ -83,17 +86,35 @@ class ProcessorBufferManager:
         re-access during the depth-first traversal.
         """
         metrics = self.machine.metrics
+        tracer = self.tracer
         path_buffer = self.path_buffers[tree_id]
 
         if path_buffer.contains(page_id):
             metrics.add("path_hits")
+            if tracer.enabled:
+                tracer.emit(
+                    EventKind.BUFFER_HIT,
+                    proc=self.proc_id,
+                    page=page_id,
+                    source="path",
+                )
             return AccessSource.PATH
 
         if self.lru.touch(page_id):
             metrics.add("lru_hits")
+            if tracer.enabled:
+                tracer.emit(
+                    EventKind.BUFFER_HIT,
+                    proc=self.proc_id,
+                    page=page_id,
+                    source="lru",
+                )
             yield self.env.timeout(self.machine.config.local_page_access_time)
             path_buffer.record(level, page_id)
             return AccessSource.LRU
+
+        if tracer.enabled:
+            tracer.emit(EventKind.BUFFER_MISS, proc=self.proc_id, page=page_id)
 
         if self.directory is not None:
             while True:
@@ -101,6 +122,13 @@ class ProcessorBufferManager:
                     page_id, self.proc_id
                 )
                 if outcome == "owner":
+                    if tracer.enabled:
+                        tracer.emit(
+                            EventKind.REMOTE_FETCH,
+                            proc=self.proc_id,
+                            page=page_id,
+                            owner=payload,
+                        )
                     yield from self.machine.remote_copy()
                     metrics.add("remote_hits")
                     path_buffer.record(level, page_id)
@@ -108,13 +136,23 @@ class ProcessorBufferManager:
                 if outcome == "wait":
                     # Another processor is reading this page from disk;
                     # piggyback on its load instead of duplicating it.
+                    if tracer.enabled:
+                        tracer.emit(
+                            EventKind.LOAD_WAIT, proc=self.proc_id, page=page_id
+                        )
                     yield payload
                     metrics.add("load_waits")
                     continue
                 break  # we claimed the load
 
-        yield from self.disk_array.read(page_id, kind)
+        yield from self.disk_array.read(page_id, kind, proc=self.proc_id)
         evicted = self.lru.insert(page_id)
+        if tracer.enabled:
+            tracer.emit(EventKind.BUFFER_INSERT, proc=self.proc_id, page=page_id)
+            if evicted is not None:
+                tracer.emit(
+                    EventKind.BUFFER_EVICT, proc=self.proc_id, page=evicted
+                )
         if self.directory is not None:
             if evicted is not None:
                 yield from self.directory.deregister(evicted, self.proc_id)

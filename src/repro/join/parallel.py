@@ -23,6 +23,7 @@ time, reassignment counts.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
@@ -37,6 +38,16 @@ from ..sim.metrics import ProcessorTimes
 from ..sim.resources import Store
 from ..storage.disk import DEFAULT_DISK, DiskParams
 from ..storage.diskarray import DiskArray
+from ..trace import (
+    NULL_TRACER,
+    EventKind,
+    JSONLSink,
+    ListSink,
+    TraceConfig,
+    TraceHandle,
+    Tracer,
+    default_checkers,
+)
 from .assignment import (
     GD,
     AssignmentMode,
@@ -77,6 +88,25 @@ class ParallelJoinConfig:
     #: destroyed by shuffling with this seed — quantifies how much the
     #: paper's spatial-locality-preserving order is worth.
     shuffle_tasks_seed: Optional[int] = None
+    #: Run-level seed for every stochastic choice of the simulation
+    #: (currently only ``VictimChoice.ARBITRARY``).  When set it overrides
+    #: ``reassignment.seed``, so one knob makes a whole run reproducible.
+    seed: Optional[int] = None
+    #: Structured event tracing + invariant checking; ``None`` (the
+    #: default) keeps the simulator on the null tracer — near-zero cost.
+    trace: Optional[TraceConfig] = None
+
+    def make_reassign_rng(self) -> random.Random:
+        """The seeded RNG used for arbitrary victim selection.
+
+        Never the module-global :mod:`random`: every run owns a private
+        ``random.Random`` seeded from ``seed`` (when given) or the
+        policy's own ``seed``, so identical configurations replay the
+        identical schedule.
+        """
+        if self.seed is not None:
+            return random.Random(self.seed)
+        return self.reassignment.make_rng()
 
 
 def prepare_trees(tree_r: RStarTree, tree_s: RStarTree) -> PageStore:
@@ -129,15 +159,18 @@ class _JoinRun:
             raise ValueError("need at least one processor")
         self.config = config
         self.env = Environment()
+        self._init_tracing(config.trace)
+        tracer = self.tracer
         self.machine = Machine(self.env, config.machine)
         self.metrics = self.machine.metrics
         self.disks = DiskArray(
-            self.env, config.disks, config.disk_params, self.metrics
+            self.env, config.disks, config.disk_params, self.metrics,
+            tracer=tracer,
         )
         self.store = page_store or prepare_trees(tree_r, tree_s)
         n = config.processors
         directory = (
-            GlobalDirectory(self.machine)
+            GlobalDirectory(self.machine, tracer=tracer)
             if config.variant.buffer is BufferMode.GLOBAL
             else None
         )
@@ -151,6 +184,7 @@ class _JoinRun:
                 lru_capacity=per_processor_pages,
                 tree_heights=heights,
                 directory=directory,
+                tracer=tracer,
             )
             for p in range(n)
         ]
@@ -162,14 +196,38 @@ class _JoinRun:
             tree_r, tree_s, min_tasks=max(1, n * config.min_tasks_factor)
         )
         if config.shuffle_tasks_seed is not None:
-            import random as _random
-
-            _random.Random(config.shuffle_tasks_seed).shuffle(tasks)
+            random.Random(config.shuffle_tasks_seed).shuffle(tasks)
         self.tasks_created = len(tasks)
         self.task_level = tasks[0].level if tasks else 0
-        self.workloads = [Workload(self.task_level) for _ in range(n)]
+        self.workloads = [
+            Workload(self.task_level, owner=p, tracer=tracer) for p in range(n)
+        ]
         self.tasks_by_processor = [0] * n
         self.queue: Optional[Store] = None
+
+        if tracer.enabled:
+            policy = config.reassignment
+            tracer.emit(
+                EventKind.RUN_START,
+                processors=n,
+                disks=config.disks,
+                buffer_pages=config.total_buffer_pages,
+                variant=config.variant.short_name,
+                assignment=config.variant.assignment.value,
+                reassign_level=policy.level.value,
+                victim=policy.victim.value,
+                min_pairs=policy.min_pairs,
+                task_level=self.task_level,
+                tasks=self.tasks_created,
+            )
+            for index, task in enumerate(tasks):
+                tracer.emit(
+                    EventKind.TASK_CREATED,
+                    index=index,
+                    level=task.level,
+                    r=task.node_r.page_id,
+                    s=task.node_s.page_id,
+                )
 
         # Phase 2: task assignment.
         mode = config.variant.assignment
@@ -186,6 +244,15 @@ class _JoinRun:
             for p, chunk in enumerate(split):
                 self.tasks_by_processor[p] = len(chunk)
                 for task in chunk:
+                    if tracer.enabled:
+                        tracer.emit(
+                            EventKind.TASK_ASSIGNED,
+                            proc=p,
+                            level=task.level,
+                            r=task.node_r.page_id,
+                            s=task.node_s.page_id,
+                            mode=mode.value,
+                        )
                     self.workloads[p].push_task(task.node_r, task.node_s)
 
         # Shared run state.
@@ -193,15 +260,44 @@ class _JoinRun:
         self.idle = [False] * n
         self.finished = [False] * n
         self.buddies: list[Optional[int]] = [None] * n
-        self.rng = config.reassignment.make_rng()
+        self.rng = config.make_reassign_rng()
         self.pairs_by_processor: list[list] = [[] for _ in range(n)]
         self.reassignments = 0
+
+    def _init_tracing(self, trace_config: Optional[TraceConfig]) -> None:
+        """Wire the event bus: recording/JSONL sinks plus online checkers."""
+        self._record_sink: Optional[ListSink] = None
+        self._jsonl_sink: Optional[JSONLSink] = None
+        self._checkers = []
+        if trace_config is None:
+            self.tracer = NULL_TRACER
+            return
+        sinks: list = []
+        if trace_config.keep_events:
+            self._record_sink = ListSink()
+            sinks.append(self._record_sink)
+        if trace_config.jsonl_path is not None:
+            self._jsonl_sink = JSONLSink(trace_config.jsonl_path)
+            sinks.append(self._jsonl_sink)
+        if trace_config.checkers:
+            self._checkers = default_checkers()
+            sinks.extend(self._checkers)
+        env = self.env
+        self.tracer = Tracer(clock=lambda: env.now, sinks=sinks)
+        env.tracer = self.tracer
 
     # ------------------------------------------------------------------ run
     def execute(self) -> ParallelJoinResult:
         for p in range(self.config.processors):
             self.env.process(self._processor(p), name=f"P{p}")
         self.env.run()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.RUN_END,
+                reassignments=self.reassignments,
+                disk_reads=self.metrics.disk_accesses,
+                candidates=sum(len(p) for p in self.pairs_by_processor),
+            )
         return ParallelJoinResult(
             pairs_by_processor=self.pairs_by_processor,
             metrics=self.metrics,
@@ -210,6 +306,22 @@ class _JoinRun:
             task_level=self.task_level,
             tasks_by_processor=self.tasks_by_processor,
             reassignments=self.reassignments,
+            trace=self._finish_trace(),
+        )
+
+    def _finish_trace(self) -> Optional[TraceHandle]:
+        """Close sinks and collect checker verdicts into the handle."""
+        if not self.tracer.enabled:
+            return None
+        verdicts = [checker.finish() for checker in self._checkers]
+        self.tracer.close()
+        return TraceHandle(
+            events=self._record_sink.events if self._record_sink else [],
+            verdicts=verdicts,
+            jsonl_path=(
+                self.config.trace.jsonl_path if self.config.trace else None
+            ),
+            events_emitted=self.tracer.events_emitted,
         )
 
     # -------------------------------------------------------- processor loop
@@ -224,9 +336,26 @@ class _JoinRun:
                     break
                 self.idle[p] = False
                 continue
-            _, node_r, node_s = item
+            level, node_r, node_s = item
             started = self.env.now
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    EventKind.EXEC_START,
+                    proc=p,
+                    level=level,
+                    r=node_r.page_id,
+                    s=node_s.page_id,
+                )
             yield from self._process_pair(p, node_r, node_s)
+            if tracer.enabled:
+                tracer.emit(
+                    EventKind.EXEC_END,
+                    proc=p,
+                    level=level,
+                    r=node_r.page_id,
+                    s=node_s.page_id,
+                )
             self.times.busy[p] += self.env.now - started
             # Response time is defined by the last processor *computing*
             # (section 4.5); idle waiting at the very end does not count.
@@ -283,6 +412,7 @@ class _JoinRun:
         """
         config = self.config
         policy = config.reassignment
+        tracer = self.tracer
         while True:
             if self.queue is not None and not (
                 self.queue.closed and len(self.queue) == 0
@@ -290,25 +420,50 @@ class _JoinRun:
                 yield self.env.timeout(config.machine.sync_time)
                 task = yield self.queue.get()
                 if task is not None:
+                    if tracer.enabled:
+                        tracer.emit(
+                            EventKind.TASK_ASSIGNED,
+                            proc=p,
+                            level=task.level,
+                            r=task.node_r.page_id,
+                            s=task.node_s.page_id,
+                            mode=AssignmentMode.DYNAMIC.value,
+                        )
                     self.workloads[p].push_task(task.node_r, task.node_s)
                     self.tasks_by_processor[p] += 1
                     self.metrics.add("queue_fetches")
                     return True
             if policy.enabled:
+                if tracer.enabled:
+                    tracer.emit(EventKind.STEAL_REQUESTED, proc=p)
                 victim = self._pick_victim(p)
                 if victim is not None:
                     level = self.workloads[victim].stealable_level(policy.level, policy.min_pairs)
-                    stolen = self.workloads[victim].steal_from(level)
+                    stolen = self.workloads[victim].steal_from(level, thief=p)
                     if stolen:
+                        if tracer.enabled:
+                            tracer.emit(
+                                EventKind.STEAL_GRANTED,
+                                proc=p,
+                                victim=victim,
+                                level=level,
+                                count=len(stolen),
+                            )
                         yield self.env.timeout(config.machine.reassign_overhead)
                         for node_r, node_s in stolen:
                             self.workloads[p].push_pair(level, node_r, node_s)
+                        if tracer.enabled and self.buddies[p] != victim:
+                            tracer.emit(
+                                EventKind.BUDDY_FORMED, proc=p, buddy=victim
+                            )
                         self.buddies[p] = victim
                         self.buddies[victim] = p
                         self.reassignments += 1
                         self.metrics.add("reassignments")
                         self.metrics.add("pairs_reassigned", len(stolen))
                         return True
+                elif tracer.enabled:
+                    tracer.emit(EventKind.STEAL_DENIED, proc=p)
                 if not self._join_finished():
                     # Others are still busy and may produce stealable
                     # pairs; check again shortly (the "waiting periods"

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Deque, Optional
 
 from ..rtree.node import Node
+from ..trace import NULL_TRACER, EventKind, Tracer
 
 __all__ = ["ReassignLevel", "VictimChoice", "ReassignmentPolicy", "Workload"]
 
@@ -76,10 +77,19 @@ class ReassignmentPolicy:
 
 
 class Workload:
-    """Per-processor pending subtree pairs, organised by tree level."""
+    """Per-processor pending subtree pairs, organised by tree level.
 
-    def __init__(self, task_level: int):
+    ``owner``/``tracer`` make the workload self-reporting: every enqueue,
+    dequeue and steal removal becomes a trace event attributed to the
+    owning processor (no-ops with the default null tracer).
+    """
+
+    def __init__(
+        self, task_level: int, owner: int = -1, tracer: Tracer = NULL_TRACER
+    ):
         self.task_level = task_level
+        self.owner = owner
+        self.tracer = tracer
         self._pending: dict[int, Deque[tuple[Node, Node]]] = {}
         self._count = 0
 
@@ -101,6 +111,14 @@ class Workload:
             self._pending[level] = queue
         queue.append((node_r, node_s))
         self._count += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.PAIR_ENQUEUED,
+                proc=self.owner,
+                level=level,
+                r=node_r.page_id,
+                s=node_s.page_id,
+            )
 
     def pop_deepest(self) -> Optional[tuple[int, Node, Node]]:
         """Next pair in depth-first plane-sweep order, or None when empty."""
@@ -109,6 +127,14 @@ class Workload:
         level = min(l for l, q in self._pending.items() if q)
         node_r, node_s = self._pending[level].popleft()
         self._count -= 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.PAIR_DEQUEUED,
+                proc=self.owner,
+                level=level,
+                r=node_r.page_id,
+                s=node_s.page_id,
+            )
         return (level, node_r, node_s)
 
     # -- what other processors see -------------------------------------------
@@ -139,9 +165,13 @@ class Workload:
             return None
         return level
 
-    def steal_from(self, level: int) -> list[tuple[Node, Node]]:
+    def steal_from(self, level: int, thief: int = -1) -> list[tuple[Node, Node]]:
         """Remove about half the pending pairs of *level* from the back
-        (the victim keeps its near-future, spatially adjacent work)."""
+        (the victim keeps its near-future, spatially adjacent work).
+
+        ``thief`` is the processor the pairs are destined for — purely
+        observability, recorded on the emitted steal events.
+        """
         queue = self._pending.get(level)
         if not queue:
             return []
@@ -149,6 +179,16 @@ class Workload:
         stolen = [queue.pop() for _ in range(count)]
         stolen.reverse()  # keep plane-sweep order for the thief
         self._count -= count
+        if self.tracer.enabled:
+            for node_r, node_s in stolen:
+                self.tracer.emit(
+                    EventKind.STEAL_TAKE,
+                    proc=self.owner,
+                    level=level,
+                    r=node_r.page_id,
+                    s=node_s.page_id,
+                    thief=thief,
+                )
         return stolen
 
     def __repr__(self) -> str:

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Hashable, Optional
 
 from ..sim.metrics import Metrics, ProcessorTimes
+from ..trace import TraceHandle
 
 __all__ = ["SequentialJoinResult", "ParallelJoinResult"]
 
@@ -53,6 +54,9 @@ class ParallelJoinResult:
     task_level: int = 0
     tasks_by_processor: list[int] = field(default_factory=list)
     reassignments: int = 0
+    #: Event record + invariant-checker verdicts of a traced run
+    #: (``ParallelJoinConfig.trace``); None when tracing was off.
+    trace: Optional[TraceHandle] = None
 
     @property
     def candidates(self) -> int:

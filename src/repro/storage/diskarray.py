@@ -15,6 +15,7 @@ from typing import Generator
 from ..sim.engine import Environment
 from ..sim.metrics import Metrics
 from ..sim.resources import Resource
+from ..trace import NULL_TRACER, EventKind, Tracer
 from .disk import DEFAULT_DISK, DiskParams
 from .page import PageKind
 
@@ -30,6 +31,7 @@ class DiskArray:
         num_disks: int,
         params: DiskParams | None = None,
         metrics: Metrics | None = None,
+        tracer: Tracer = NULL_TRACER,
     ):
         if num_disks < 1:
             raise ValueError("a disk array needs at least one disk")
@@ -37,6 +39,7 @@ class DiskArray:
         self.num_disks = num_disks
         self.params = params or DEFAULT_DISK
         self.metrics = metrics or Metrics()
+        self.tracer = tracer
         self._disks = [
             Resource(env, capacity=1, name=f"disk{d}") for d in range(num_disks)
         ]
@@ -45,21 +48,36 @@ class DiskArray:
         """Placement function: page number modulo the number of disks."""
         return page_id % self.num_disks
 
-    def read(self, page_id: int, kind: PageKind) -> Generator:
+    def read(self, page_id: int, kind: PageKind, proc: int = -1) -> Generator:
         """Process fragment: one page read, including queueing at the disk.
 
         A :data:`PageKind.DATA` read includes the exact-geometry cluster
         access (37.5 ms total with the default parameters); a directory
-        read costs the plain 16 ms.
+        read costs the plain 16 ms.  ``proc`` attributes the request to a
+        processor on the trace (purely observability).
         """
         disk_id = self.disk_of(page_id)
         disk = self._disks[disk_id]
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.DISK_ENQUEUE, proc=proc, page=page_id, disk=disk_id
+            )
         yield disk.acquire()
+        service_start = self.env.now
         try:
             yield self.env.timeout(self.params.service_time(kind))
         finally:
             disk.release()
         self.metrics.record_disk_read(disk_id)
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.DISK_COMPLETE,
+                proc=proc,
+                page=page_id,
+                disk=disk_id,
+                start=service_start,
+            )
 
     # -- introspection for tests and benches ----------------------------------
     def queue_length(self, disk_id: int) -> int:

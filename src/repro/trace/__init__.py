@@ -1,0 +1,60 @@
+"""Structured simulation tracing and invariant checking.
+
+The simulated KSR1 (:mod:`repro.sim`), the parallel join driver, the
+buffer layers and the disk array emit typed :class:`TraceEvent` objects
+into a :class:`Tracer`.  Sinks consume the stream: recording
+(:class:`ListSink`), JSONL persistence (:class:`JSONLSink`) and the online
+invariant checkers (:mod:`repro.trace.checkers`) that verify the
+simulation behaved lawfully — tasks conserved, steals sound, buffers
+coherent, disks exact, clocks monotone.
+
+Tracing is **off by default** and adds only an ``if tracer.enabled`` guard
+per site (the :data:`NULL_TRACER`); enable it per run via
+``ParallelJoinConfig(trace=TraceConfig())`` and read the outcome from
+``result.trace`` (a :class:`TraceHandle`).
+"""
+
+from .checkers import (
+    BufferCoherenceChecker,
+    ClockMonotonicityChecker,
+    DiskAccountingChecker,
+    InvariantChecker,
+    InvariantViolation,
+    StealSoundnessChecker,
+    TaskConservationChecker,
+    Verdict,
+    default_checkers,
+    run_checkers,
+)
+from .events import EventKind, TraceEvent
+from .handle import TraceHandle
+from .sinks import JSONLSink, ListSink, TraceSink, read_jsonl
+from .timeline import format_event, render_timeline, steal_timeline
+from .tracer import NULL_TRACER, NullTracer, TraceConfig, Tracer
+
+__all__ = [
+    "EventKind",
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceConfig",
+    "TraceSink",
+    "ListSink",
+    "JSONLSink",
+    "read_jsonl",
+    "TraceHandle",
+    "Verdict",
+    "InvariantChecker",
+    "InvariantViolation",
+    "TaskConservationChecker",
+    "StealSoundnessChecker",
+    "BufferCoherenceChecker",
+    "DiskAccountingChecker",
+    "ClockMonotonicityChecker",
+    "default_checkers",
+    "run_checkers",
+    "render_timeline",
+    "steal_timeline",
+    "format_event",
+]

@@ -1,0 +1,502 @@
+"""Invariant checkers over the simulation event stream.
+
+Each checker is an event sink (so it can run online during a simulation)
+that accumulates violations and renders a final :class:`Verdict`.  The
+four lawfulness properties the paper's measurements silently rely on:
+
+* :class:`TaskConservationChecker` — every pair of subtrees created during
+  the join is executed **exactly once**, by exactly one processor, and the
+  executing processor actually owned the pair at the time; nothing is
+  still pending when the run ends.
+* :class:`StealSoundnessChecker` — stolen pairs leave the victim and
+  arrive at the thief (no duplication, no loss in transit); the stolen
+  level respects the configured :class:`~repro.join.reassign.ReassignLevel`;
+  with reassignment off, no steal happens at all.
+* :class:`BufferCoherenceChecker` — a local LRU hit names a page that was
+  resident in that processor's buffer; a remote (global-buffer) fetch
+  names the processor the directory registered for the page; pages are
+  registered to at most one owner at a time.
+* :class:`ClockMonotonicityChecker` — simulated time never runs backwards,
+  globally and per processor, and sequence numbers are strictly monotone.
+
+Plus :class:`DiskAccountingChecker`: every disk completion matches an
+enqueue, pages land on ``page_id % num_disks``, and per-disk service
+intervals never overlap (each simulated disk serves one request at a
+time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .events import EventKind, TraceEvent
+
+__all__ = [
+    "Verdict",
+    "InvariantViolation",
+    "InvariantChecker",
+    "TaskConservationChecker",
+    "StealSoundnessChecker",
+    "BufferCoherenceChecker",
+    "DiskAccountingChecker",
+    "ClockMonotonicityChecker",
+    "default_checkers",
+    "run_checkers",
+]
+
+#: Cap on stored violation messages per checker (counts keep accumulating).
+MAX_STORED_VIOLATIONS = 25
+
+
+class InvariantViolation(AssertionError):
+    """Raised by :meth:`TraceHandle.verify` when any checker failed."""
+
+
+@dataclass
+class Verdict:
+    """Outcome of one checker over one event stream."""
+
+    checker: str
+    ok: bool
+    violations: list[str] = field(default_factory=list)
+    violation_count: int = 0
+    stats: dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        state = "ok" if self.ok else f"{self.violation_count} violations"
+        inner = ", ".join(f"{k}={v}" for k, v in self.stats.items())
+        return f"{self.checker}: {state}" + (f" ({inner})" if inner else "")
+
+    def __repr__(self) -> str:
+        return f"<Verdict {self.summary()}>"
+
+
+class InvariantChecker:
+    """Base class: an event sink with a verdict."""
+
+    name = "invariant"
+
+    def __init__(self) -> None:
+        self.violations: list[str] = []
+        self.violation_count = 0
+        self.events_seen = 0
+
+    # -- sink protocol -------------------------------------------------------
+    def handle(self, event: TraceEvent) -> None:
+        self.events_seen += 1
+        self.observe(event)
+
+    def observe(self, event: TraceEvent) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _violate(self, message: str) -> None:
+        self.violation_count += 1
+        if len(self.violations) < MAX_STORED_VIOLATIONS:
+            self.violations.append(message)
+
+    # -- verdict -------------------------------------------------------------
+    def finish(self) -> Verdict:
+        self.at_end()
+        return Verdict(
+            checker=self.name,
+            ok=self.violation_count == 0,
+            violations=list(self.violations),
+            violation_count=self.violation_count,
+            stats=self.stats(),
+        )
+
+    def at_end(self) -> None:
+        """Final checks once the stream is complete (override as needed)."""
+
+    def stats(self) -> dict[str, int]:
+        return {"events": self.events_seen}
+
+
+def _pair_key(event: TraceEvent) -> tuple[int, int]:
+    return (event.data["r"], event.data["s"])
+
+
+class TaskConservationChecker(InvariantChecker):
+    """Created-exactly-once, executed-exactly-once pair accounting.
+
+    Tracks a small state machine per pair key ``(r_page, s_page)``:
+    ``resident(owner) -> dequeued(owner) -> executing(owner) -> done``
+    with a ``transit(victim -> thief)`` detour while a steal is in flight.
+    """
+
+    name = "task-conservation"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._state: dict[tuple[int, int], tuple[str, int]] = {}
+        self._executions: dict[tuple[int, int], int] = {}
+        self._task_keys: set[tuple[int, int]] = set()
+        self._created = 0
+
+    def observe(self, event: TraceEvent) -> None:
+        kind = event.kind
+        if kind is EventKind.TASK_CREATED:
+            self._task_keys.add(_pair_key(event))
+            return
+        if kind is EventKind.PAIR_ENQUEUED:
+            self._on_enqueue(event)
+        elif kind is EventKind.STEAL_TAKE:
+            self._on_take(event)
+        elif kind is EventKind.PAIR_DEQUEUED:
+            self._expect(event, "resident", "dequeued")
+        elif kind is EventKind.EXEC_START:
+            key = _pair_key(event)
+            self._executions[key] = self._executions.get(key, 0) + 1
+            if self._executions[key] > 1:
+                self._violate(
+                    f"pair {key} executed {self._executions[key]} times "
+                    f"(second time on P{event.proc} at t={event.time:.6f})"
+                )
+            self._expect(event, "dequeued", "executing")
+        elif kind is EventKind.EXEC_END:
+            self._expect(event, "executing", "done")
+
+    def _on_enqueue(self, event: TraceEvent) -> None:
+        key = _pair_key(event)
+        state = self._state.get(key)
+        if state is None:
+            self._created += 1
+        elif state[0] == "transit":
+            if state[1] != event.proc:
+                self._violate(
+                    f"stolen pair {key} arrived at P{event.proc}, "
+                    f"but was taken for P{state[1]}"
+                )
+        else:
+            self._violate(
+                f"pair {key} enqueued at P{event.proc} while already "
+                f"{state[0]} (owner P{state[1]}) — duplicated work"
+            )
+        self._state[key] = ("resident", event.proc)
+
+    def _on_take(self, event: TraceEvent) -> None:
+        key = _pair_key(event)
+        thief = event.data.get("thief", -1)
+        state = self._state.get(key)
+        if state is None or state[0] != "resident" or state[1] != event.proc:
+            self._violate(
+                f"steal took pair {key} from P{event.proc}, "
+                f"but its state there was {state}"
+            )
+        self._state[key] = ("transit", thief)
+
+    def _expect(self, event: TraceEvent, want: str, then: str) -> None:
+        key = _pair_key(event)
+        state = self._state.get(key)
+        if state is None or state[0] != want or state[1] != event.proc:
+            self._violate(
+                f"{event.kind.value} of pair {key} on P{event.proc} "
+                f"expected state ({want}, P{event.proc}), found {state}"
+            )
+        self._state[key] = (then, event.proc)
+
+    def at_end(self) -> None:
+        leftover = [k for k, (s, _) in self._state.items() if s != "done"]
+        for key in leftover[:MAX_STORED_VIOLATIONS]:
+            self._violate(
+                f"pair {key} never finished (final state {self._state[key]})"
+            )
+        self.violation_count += max(0, len(leftover) - MAX_STORED_VIOLATIONS)
+        for key in self._task_keys:
+            if self._executions.get(key, 0) != 1:
+                self._violate(
+                    f"task pair {key} executed "
+                    f"{self._executions.get(key, 0)} times (expected 1)"
+                )
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "pairs_created": self._created,
+            "pairs_executed": sum(
+                1 for s, _ in self._state.values() if s == "done"
+            ),
+            "tasks": len(self._task_keys),
+        }
+
+
+class StealSoundnessChecker(InvariantChecker):
+    """Steals conserve work and respect the reassignment policy."""
+
+    name = "steal-soundness"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._policy_level: Optional[str] = None
+        self._task_level: Optional[int] = None
+        self._transit: dict[tuple[int, int], tuple[int, int]] = {}
+        self._pending: dict[tuple[int, int, int], int] = {}
+        self._steals = 0
+        self._pairs_moved = 0
+
+    def observe(self, event: TraceEvent) -> None:
+        kind = event.kind
+        if kind is EventKind.RUN_START:
+            self._policy_level = event.data.get("reassign_level")
+            self._task_level = event.data.get("task_level")
+        elif kind is EventKind.STEAL_TAKE:
+            self._on_take(event)
+        elif kind is EventKind.STEAL_GRANTED:
+            self._on_granted(event)
+        elif kind is EventKind.PAIR_ENQUEUED:
+            key = _pair_key(event)
+            expected = self._transit.pop(key, None)
+            if expected is not None and expected[1] != event.proc:
+                self._violate(
+                    f"pair {key} stolen for P{expected[1]} "
+                    f"landed on P{event.proc}"
+                )
+
+    def _on_take(self, event: TraceEvent) -> None:
+        key = _pair_key(event)
+        victim, thief = event.proc, event.data.get("thief", -1)
+        level = event.data.get("level")
+        self._pairs_moved += 1
+        if self._policy_level == "none":
+            self._violate(
+                f"steal of pair {key} although reassignment is disabled"
+            )
+        elif self._policy_level == "root" and level != self._task_level:
+            self._violate(
+                f"steal of pair {key} at level {level}, but the policy "
+                f"only allows the task level {self._task_level}"
+            )
+        if victim == thief:
+            self._violate(f"P{thief} stole pair {key} from itself")
+        if key in self._transit:
+            self._violate(f"pair {key} stolen twice without arriving")
+        self._transit[key] = (victim, thief)
+        slot = (victim, thief, level)
+        self._pending[slot] = self._pending.get(slot, 0) + 1
+
+    def _on_granted(self, event: TraceEvent) -> None:
+        self._steals += 1
+        thief = event.proc
+        victim = event.data.get("victim")
+        level = event.data.get("level")
+        count = event.data.get("count")
+        slot = (victim, thief, level)
+        taken = self._pending.pop(slot, 0)
+        if taken != count:
+            self._violate(
+                f"steal grant P{victim}->P{thief} level {level} reports "
+                f"{count} pairs, but {taken} were taken"
+            )
+
+    def at_end(self) -> None:
+        for key, (victim, thief) in list(self._transit.items())[
+            :MAX_STORED_VIOLATIONS
+        ]:
+            self._violate(
+                f"pair {key} stolen from P{victim} for P{thief} "
+                f"never arrived"
+            )
+        self.violation_count += max(
+            0, len(self._transit) - MAX_STORED_VIOLATIONS
+        )
+
+    def stats(self) -> dict[str, int]:
+        return {"steals": self._steals, "pairs_moved": self._pairs_moved}
+
+
+class BufferCoherenceChecker(InvariantChecker):
+    """Local hits are resident; remote fetches match the directory."""
+
+    name = "buffer-coherence"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._resident: dict[int, set[int]] = {}
+        self._directory: dict[int, int] = {}
+        self._lru_hits = 0
+        self._remote_fetches = 0
+
+    def observe(self, event: TraceEvent) -> None:
+        kind = event.kind
+        data = event.data
+        if kind is EventKind.BUFFER_INSERT:
+            self._resident.setdefault(event.proc, set()).add(data["page"])
+        elif kind is EventKind.BUFFER_EVICT:
+            pages = self._resident.get(event.proc, set())
+            if data["page"] not in pages:
+                self._violate(
+                    f"P{event.proc} evicted page {data['page']} "
+                    f"it never held"
+                )
+            pages.discard(data["page"])
+        elif kind is EventKind.BUFFER_HIT:
+            if data.get("source") == "lru":
+                self._lru_hits += 1
+                if data["page"] not in self._resident.get(event.proc, set()):
+                    self._violate(
+                        f"P{event.proc} LRU hit on page {data['page']} "
+                        f"that is not resident there"
+                    )
+        elif kind is EventKind.REMOTE_FETCH:
+            self._remote_fetches += 1
+            page, owner = data["page"], data["owner"]
+            registered = self._directory.get(page)
+            if registered != owner:
+                self._violate(
+                    f"P{event.proc} remote-fetched page {page} from "
+                    f"P{owner}, but the directory registers "
+                    f"{'nobody' if registered is None else f'P{registered}'}"
+                )
+            if owner == event.proc:
+                self._violate(
+                    f"P{event.proc} remote-fetched page {page} from itself"
+                )
+        elif kind is EventKind.PAGE_REGISTERED:
+            page = data["page"]
+            previous = self._directory.get(page)
+            if previous is not None and previous != event.proc:
+                self._violate(
+                    f"page {page} registered to P{event.proc} while still "
+                    f"registered to P{previous}"
+                )
+            self._directory[page] = event.proc
+        elif kind is EventKind.PAGE_DEREGISTERED:
+            page = data["page"]
+            if self._directory.get(page) != event.proc:
+                self._violate(
+                    f"P{event.proc} deregistered page {page} it does "
+                    f"not own in the directory"
+                )
+            self._directory.pop(page, None)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "lru_hits": self._lru_hits,
+            "remote_fetches": self._remote_fetches,
+            "registered_at_end": len(self._directory),
+        }
+
+
+class DiskAccountingChecker(InvariantChecker):
+    """Disk requests pair up, land on the right disk, and never overlap."""
+
+    name = "disk-accounting"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._num_disks: Optional[int] = None
+        self._outstanding: dict[tuple[int, int, int], int] = {}
+        self._busy_until: dict[int, float] = {}
+        self._reads = 0
+
+    def observe(self, event: TraceEvent) -> None:
+        kind = event.kind
+        data = event.data
+        if kind is EventKind.RUN_START:
+            self._num_disks = data.get("disks")
+        elif kind is EventKind.DISK_ENQUEUE:
+            slot = (event.proc, data["page"], data["disk"])
+            self._outstanding[slot] = self._outstanding.get(slot, 0) + 1
+            if (
+                self._num_disks is not None
+                and data["disk"] != data["page"] % self._num_disks
+            ):
+                self._violate(
+                    f"page {data['page']} enqueued on disk {data['disk']}, "
+                    f"expected {data['page'] % self._num_disks}"
+                )
+        elif kind is EventKind.DISK_COMPLETE:
+            self._reads += 1
+            slot = (event.proc, data["page"], data["disk"])
+            if self._outstanding.get(slot, 0) < 1:
+                self._violate(
+                    f"disk completion without enqueue: P{event.proc} "
+                    f"page {data['page']} disk {data['disk']}"
+                )
+            else:
+                self._outstanding[slot] -= 1
+                if self._outstanding[slot] == 0:
+                    del self._outstanding[slot]
+            start = data.get("start", event.time)
+            busy_until = self._busy_until.get(data["disk"], 0.0)
+            if start < busy_until - 1e-12:
+                self._violate(
+                    f"disk {data['disk']} started serving page "
+                    f"{data['page']} at {start:.6f} while busy until "
+                    f"{busy_until:.6f}"
+                )
+            self._busy_until[data["disk"]] = event.time
+
+    def at_end(self) -> None:
+        for (proc, page, disk), count in list(self._outstanding.items())[
+            :MAX_STORED_VIOLATIONS
+        ]:
+            self._violate(
+                f"{count} disk request(s) of P{proc} for page {page} on "
+                f"disk {disk} never completed"
+            )
+        self.violation_count += max(
+            0, len(self._outstanding) - MAX_STORED_VIOLATIONS
+        )
+
+    def stats(self) -> dict[str, int]:
+        return {"disk_reads": self._reads}
+
+
+class ClockMonotonicityChecker(InvariantChecker):
+    """Time flows forward: global and per-processor, seq strictly rises."""
+
+    name = "clock-monotonicity"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_time = float("-inf")
+        self._last_seq = -1
+        self._per_proc: dict[int, float] = {}
+
+    def observe(self, event: TraceEvent) -> None:
+        if event.seq <= self._last_seq:
+            self._violate(
+                f"sequence number {event.seq} after {self._last_seq}"
+            )
+        self._last_seq = event.seq
+        if event.time < self._last_time - 1e-12:
+            self._violate(
+                f"global clock ran backwards: {event.time:.9f} after "
+                f"{self._last_time:.9f} (event #{event.seq})"
+            )
+        self._last_time = max(self._last_time, event.time)
+        if event.proc >= 0:
+            last = self._per_proc.get(event.proc, float("-inf"))
+            if event.time < last - 1e-12:
+                self._violate(
+                    f"P{event.proc} clock ran backwards: {event.time:.9f} "
+                    f"after {last:.9f} (event #{event.seq})"
+                )
+            self._per_proc[event.proc] = max(last, event.time)
+
+    def stats(self) -> dict[str, int]:
+        return {"processors_seen": len(self._per_proc)}
+
+
+def default_checkers() -> list[InvariantChecker]:
+    """One fresh instance of every standard checker."""
+    return [
+        TaskConservationChecker(),
+        StealSoundnessChecker(),
+        BufferCoherenceChecker(),
+        DiskAccountingChecker(),
+        ClockMonotonicityChecker(),
+    ]
+
+
+def run_checkers(
+    events: Iterable[TraceEvent],
+    checkers: Optional[list[InvariantChecker]] = None,
+) -> list[Verdict]:
+    """Replay *events* through *checkers* (default: all standard ones)."""
+    active = checkers if checkers is not None else default_checkers()
+    for event in events:
+        for checker in active:
+            checker.handle(event)
+    return [checker.finish() for checker in active]

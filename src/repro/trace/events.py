@@ -1,0 +1,108 @@
+"""Typed simulation events.
+
+Every observable step of a simulated parallel join — task life cycle,
+steals, buffer traffic, disk service — is one :class:`TraceEvent`: a
+monotone sequence number, the simulated time it happened, the event kind,
+the processor it happened on (-1 for machine-global events) and a small
+payload dict of ints/floats/strings.  Events are cheap plain data; all
+interpretation lives in the checkers (:mod:`repro.trace.checkers`) and the
+timeline renderer (:mod:`repro.trace.timeline`).
+
+Pairs of subtree nodes are identified by the page ids of their two nodes
+(``r``/``s`` payload keys).  A pair is created exactly once during a join
+(each node has a unique parent, so a child pair has a unique producing
+parent pair), which is what makes the page-id pair a sound conservation
+key.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["EventKind", "TraceEvent"]
+
+
+class EventKind(str, enum.Enum):
+    """All event types the instrumented simulator emits."""
+
+    # run framing
+    RUN_START = "run_start"
+    RUN_END = "run_end"
+
+    # task life cycle (phase 1/2)
+    TASK_CREATED = "task_created"
+    TASK_ASSIGNED = "task_assigned"
+
+    # per-pair work accounting (phase 3)
+    PAIR_ENQUEUED = "pair_enqueued"
+    PAIR_DEQUEUED = "pair_dequeued"
+    EXEC_START = "exec_start"
+    EXEC_END = "exec_end"
+
+    # task reassignment (section 3.4)
+    STEAL_REQUESTED = "steal_requested"
+    STEAL_TAKE = "steal_take"
+    STEAL_GRANTED = "steal_granted"
+    STEAL_DENIED = "steal_denied"
+    BUDDY_FORMED = "buddy_formed"
+
+    # buffer hierarchy (section 3.2 / 4.2)
+    BUFFER_HIT = "buffer_hit"
+    BUFFER_MISS = "buffer_miss"
+    BUFFER_INSERT = "buffer_insert"
+    BUFFER_EVICT = "buffer_evict"
+    REMOTE_FETCH = "remote_fetch"
+    LOAD_WAIT = "load_wait"
+    PAGE_REGISTERED = "page_registered"
+    PAGE_DEREGISTERED = "page_deregistered"
+
+    # disk array (section 4.2)
+    DISK_ENQUEUE = "disk_enqueue"
+    DISK_COMPLETE = "disk_complete"
+
+    # simulation kernel
+    PROC_SPAWNED = "proc_spawned"
+    PROC_FINISHED = "proc_finished"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One occurrence in the simulated machine.
+
+    ``proc`` is the 0-based processor the event belongs to, or -1 for
+    events without a processor context (run framing, directory state).
+    """
+
+    seq: int
+    time: float
+    kind: EventKind
+    proc: int = -1
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "time": self.time,
+            "kind": self.kind.value,
+            "proc": self.proc,
+            "data": dict(self.data),
+        }
+
+    @classmethod
+    def from_json_dict(cls, raw: Mapping[str, Any]) -> "TraceEvent":
+        return cls(
+            seq=int(raw["seq"]),
+            time=float(raw["time"]),
+            kind=EventKind(raw["kind"]),
+            proc=int(raw.get("proc", -1)),
+            data=dict(raw.get("data", {})),
+        )
+
+    def __repr__(self) -> str:
+        inner = " ".join(f"{k}={v}" for k, v in self.data.items())
+        return (
+            f"<TraceEvent #{self.seq} t={self.time:.6f} {self.kind.value}"
+            f" proc={self.proc}{' ' + inner if inner else ''}>"
+        )

@@ -1,0 +1,81 @@
+"""What a traced run hands back: events + checker verdicts.
+
+``ParallelJoinResult.trace`` is a :class:`TraceHandle` when the run was
+configured with a :class:`~repro.trace.tracer.TraceConfig`; it bundles the
+recorded events (if kept), the invariant-checker verdicts and convenience
+views (timeline rendering, verification raise, per-kind counts).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .checkers import InvariantViolation, Verdict
+from .events import EventKind, TraceEvent
+from .timeline import render_timeline, steal_timeline
+
+__all__ = ["TraceHandle"]
+
+
+@dataclass
+class TraceHandle:
+    """The observable record of one traced simulation run."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    verdicts: list[Verdict] = field(default_factory=list)
+    jsonl_path: Optional[str] = None
+    events_emitted: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant checker passed."""
+        return all(verdict.ok for verdict in self.verdicts)
+
+    @property
+    def failed(self) -> list[Verdict]:
+        return [verdict for verdict in self.verdicts if not verdict.ok]
+
+    def verdict(self, checker: str) -> Verdict:
+        for verdict in self.verdicts:
+            if verdict.checker == checker:
+                return verdict
+        raise KeyError(f"no verdict from checker {checker!r}")
+
+    def verify(self) -> None:
+        """Raise :class:`InvariantViolation` if any checker failed."""
+        if self.ok:
+            return
+        details = []
+        for verdict in self.failed:
+            details.append(verdict.summary())
+            details.extend(f"  - {v}" for v in verdict.violations[:5])
+        raise InvariantViolation(
+            "simulation invariants violated:\n" + "\n".join(details)
+        )
+
+    def timeline(self, **kwargs) -> str:
+        """Render the recorded events (see :func:`render_timeline`)."""
+        return render_timeline(self.events, **kwargs)
+
+    def steal_timeline(self, **kwargs) -> str:
+        """Only the reassignment events (steals, denials, buddies)."""
+        return steal_timeline(self.events, **kwargs)
+
+    def counts(self) -> dict[EventKind, int]:
+        """Recorded events per kind."""
+        return dict(Counter(event.kind for event in self.events))
+
+    def summary(self) -> str:
+        """One line per checker, prefixed with the event volume."""
+        lines = [f"{self.events_emitted} events"]
+        lines.extend(verdict.summary() for verdict in self.verdicts)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        state = "ok" if self.ok else f"{len(self.failed)} checker(s) failed"
+        return (
+            f"<TraceHandle {self.events_emitted} events, "
+            f"{len(self.verdicts)} checkers, {state}>"
+        )

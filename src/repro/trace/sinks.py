@@ -1,0 +1,92 @@
+"""Event sinks: where emitted :class:`TraceEvent` objects go.
+
+A sink is anything with ``handle(event)`` (and optionally ``close()``).
+The invariant checkers of :mod:`repro.trace.checkers` are sinks too, so
+they can run *online* during a simulation; :func:`run_checkers` replays a
+recorded event list through them after the fact instead.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable, Protocol, Union, runtime_checkable
+
+from .events import TraceEvent
+
+__all__ = ["TraceSink", "ListSink", "JSONLSink", "read_jsonl"]
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """Anything that consumes a stream of trace events."""
+
+    def handle(self, event: TraceEvent) -> None: ...
+
+
+class ListSink:
+    """Keep every event in memory (the default recording sink)."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def handle(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"<ListSink {len(self.events)} events>"
+
+
+class JSONLSink:
+    """Append events to a file as one JSON object per line.
+
+    Accepts a path (opened and owned by the sink) or an already-open
+    text-mode file object (left open on :meth:`close`).
+    """
+
+    def __init__(self, target: Union[str, Path, IO[str]]):
+        if isinstance(target, (str, Path)):
+            self.path: Path | None = Path(target)
+            self._file: IO[str] = self.path.open("w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self.path = None
+            self._file = target
+            self._owns_file = False
+        self.written = 0
+
+    def handle(self, event: TraceEvent) -> None:
+        self._file.write(json.dumps(event.to_json_dict(), separators=(",", ":")))
+        self._file.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+    def __repr__(self) -> str:
+        where = self.path or "<stream>"
+        return f"<JSONLSink {where} {self.written} events>"
+
+
+def read_jsonl(source: Union[str, Path, Iterable[str]]) -> list[TraceEvent]:
+    """Load a JSONL trace back into :class:`TraceEvent` objects."""
+    if isinstance(source, (str, Path)):
+        with Path(source).open("r", encoding="utf-8") as handle:
+            return [
+                TraceEvent.from_json_dict(json.loads(line))
+                for line in handle
+                if line.strip()
+            ]
+    return [
+        TraceEvent.from_json_dict(json.loads(line))
+        for line in source
+        if line.strip()
+    ]

@@ -1,0 +1,80 @@
+"""Compact text rendering of an event stream for debugging.
+
+:func:`render_timeline` turns a list of events into an aligned, filterable
+text timeline; :func:`steal_timeline` pre-filters to the reassignment
+events (the "who helped whom, when" view of the paper's section 3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from .events import EventKind, TraceEvent
+
+__all__ = ["render_timeline", "steal_timeline", "format_event"]
+
+#: The reassignment story: requests, takes, grants, denials, buddies.
+STEAL_KINDS = (
+    EventKind.STEAL_REQUESTED,
+    EventKind.STEAL_TAKE,
+    EventKind.STEAL_GRANTED,
+    EventKind.STEAL_DENIED,
+    EventKind.BUDDY_FORMED,
+)
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def format_event(event: TraceEvent) -> str:
+    """One aligned timeline line for *event*."""
+    proc = f"P{event.proc}" if event.proc >= 0 else "--"
+    payload = " ".join(
+        f"{key}={_format_value(value)}" for key, value in event.data.items()
+    )
+    return (
+        f"{event.time:>12.6f}  {proc:<4} {event.kind.value:<16} {payload}"
+    ).rstrip()
+
+
+def render_timeline(
+    events: Iterable[TraceEvent],
+    *,
+    kinds: Optional[Sequence[EventKind]] = None,
+    procs: Optional[Sequence[int]] = None,
+    start: float = float("-inf"),
+    end: float = float("inf"),
+    limit: Optional[int] = None,
+) -> str:
+    """Render *events* as text, optionally filtered.
+
+    ``kinds``/``procs`` restrict to those event kinds / processors,
+    ``start``/``end`` to a simulated-time window, ``limit`` to the first
+    *limit* matching lines (a trailing ellipsis line reports the cut).
+    """
+    kind_set = set(kinds) if kinds is not None else None
+    proc_set = set(procs) if procs is not None else None
+    lines: list[str] = []
+    skipped = 0
+    for event in events:
+        if kind_set is not None and event.kind not in kind_set:
+            continue
+        if proc_set is not None and event.proc not in proc_set:
+            continue
+        if not (start <= event.time <= end):
+            continue
+        if limit is not None and len(lines) >= limit:
+            skipped += 1
+            continue
+        lines.append(format_event(event))
+    if skipped:
+        lines.append(f"... {skipped} more event(s) suppressed")
+    return "\n".join(lines)
+
+
+def steal_timeline(events: Iterable[TraceEvent], **kwargs) -> str:
+    """The reassignment subset of the timeline (steals and buddies)."""
+    return render_timeline(events, kinds=STEAL_KINDS, **kwargs)

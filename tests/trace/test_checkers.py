@@ -1,0 +1,328 @@
+"""Unit tests for the invariant checkers on handcrafted event streams."""
+
+import pytest
+
+from repro.trace import (
+    BufferCoherenceChecker,
+    ClockMonotonicityChecker,
+    DiskAccountingChecker,
+    EventKind,
+    StealSoundnessChecker,
+    TaskConservationChecker,
+    TraceEvent,
+    default_checkers,
+    run_checkers,
+)
+
+
+class Stream:
+    """Build event lists with automatic seq numbers and a settable clock."""
+
+    def __init__(self):
+        self.events: list[TraceEvent] = []
+        self.now = 0.0
+
+    def emit(self, kind, proc=-1, **data):
+        self.events.append(TraceEvent(len(self.events), self.now, kind, proc, data))
+        return self
+
+
+def verdict_of(checker, events):
+    for event in events:
+        checker.handle(event)
+    return checker.finish()
+
+
+class TestTaskConservation:
+    def lawful(self):
+        s = Stream()
+        s.emit(EventKind.TASK_CREATED, r=1, s=2)
+        s.emit(EventKind.PAIR_ENQUEUED, proc=0, level=2, r=1, s=2)
+        s.emit(EventKind.PAIR_DEQUEUED, proc=0, level=2, r=1, s=2)
+        s.emit(EventKind.EXEC_START, proc=0, level=2, r=1, s=2)
+        s.emit(EventKind.EXEC_END, proc=0, level=2, r=1, s=2)
+        return s
+
+    def test_lawful_stream_passes(self):
+        verdict = verdict_of(TaskConservationChecker(), self.lawful().events)
+        assert verdict.ok
+        assert verdict.stats["pairs_created"] == 1
+        assert verdict.stats["pairs_executed"] == 1
+        assert verdict.stats["tasks"] == 1
+
+    def test_double_execution_detected(self):
+        s = self.lawful()
+        s.emit(EventKind.PAIR_ENQUEUED, proc=1, level=2, r=1, s=2)
+        s.emit(EventKind.PAIR_DEQUEUED, proc=1, level=2, r=1, s=2)
+        s.emit(EventKind.EXEC_START, proc=1, level=2, r=1, s=2)
+        s.emit(EventKind.EXEC_END, proc=1, level=2, r=1, s=2)
+        verdict = verdict_of(TaskConservationChecker(), s.events)
+        assert not verdict.ok
+        assert any("executed 2 times" in v for v in verdict.violations)
+        assert any("duplicated work" in v for v in verdict.violations)
+
+    def test_steal_transit_is_lawful(self):
+        s = Stream()
+        s.emit(EventKind.PAIR_ENQUEUED, proc=0, level=1, r=5, s=6)
+        s.emit(EventKind.STEAL_TAKE, proc=0, level=1, r=5, s=6, thief=3)
+        s.emit(EventKind.PAIR_ENQUEUED, proc=3, level=1, r=5, s=6)
+        s.emit(EventKind.PAIR_DEQUEUED, proc=3, level=1, r=5, s=6)
+        s.emit(EventKind.EXEC_START, proc=3, level=1, r=5, s=6)
+        s.emit(EventKind.EXEC_END, proc=3, level=1, r=5, s=6)
+        assert verdict_of(TaskConservationChecker(), s.events).ok
+
+    def test_stolen_pair_arriving_elsewhere_detected(self):
+        s = Stream()
+        s.emit(EventKind.PAIR_ENQUEUED, proc=0, level=1, r=5, s=6)
+        s.emit(EventKind.STEAL_TAKE, proc=0, level=1, r=5, s=6, thief=3)
+        s.emit(EventKind.PAIR_ENQUEUED, proc=2, level=1, r=5, s=6)
+        verdict = verdict_of(TaskConservationChecker(), s.events)
+        assert any("taken for P3" in v for v in verdict.violations)
+
+    def test_unfinished_pair_detected_at_end(self):
+        s = Stream()
+        s.emit(EventKind.PAIR_ENQUEUED, proc=0, level=1, r=7, s=8)
+        verdict = verdict_of(TaskConservationChecker(), s.events)
+        assert not verdict.ok
+        assert any("never finished" in v for v in verdict.violations)
+
+    def test_unexecuted_task_detected_at_end(self):
+        s = Stream()
+        s.emit(EventKind.TASK_CREATED, r=9, s=10)
+        verdict = verdict_of(TaskConservationChecker(), s.events)
+        assert any("expected 1" in v for v in verdict.violations)
+
+    def test_execute_without_dequeue_detected(self):
+        s = Stream()
+        s.emit(EventKind.PAIR_ENQUEUED, proc=0, level=1, r=1, s=1)
+        s.emit(EventKind.EXEC_START, proc=0, level=1, r=1, s=1)
+        verdict = verdict_of(TaskConservationChecker(), s.events)
+        assert any("expected state (dequeued" in v for v in verdict.violations)
+
+
+class TestStealSoundness:
+    def start(self, level="all", task_level=2):
+        s = Stream()
+        s.emit(EventKind.RUN_START, reassign_level=level, task_level=task_level)
+        return s
+
+    def test_lawful_steal_passes(self):
+        s = self.start()
+        for r in (1, 2):
+            s.emit(EventKind.STEAL_TAKE, proc=0, level=1, r=r, s=r, thief=1)
+        s.emit(EventKind.STEAL_GRANTED, proc=1, victim=0, level=1, count=2)
+        for r in (1, 2):
+            s.emit(EventKind.PAIR_ENQUEUED, proc=1, level=1, r=r, s=r)
+        verdict = verdict_of(StealSoundnessChecker(), s.events)
+        assert verdict.ok
+        assert verdict.stats == {"steals": 1, "pairs_moved": 2}
+
+    def test_steal_with_policy_none_detected(self):
+        s = self.start(level="none")
+        s.emit(EventKind.STEAL_TAKE, proc=0, level=1, r=1, s=1, thief=1)
+        verdict = verdict_of(StealSoundnessChecker(), s.events)
+        assert any("disabled" in v for v in verdict.violations)
+
+    def test_root_policy_wrong_level_detected(self):
+        s = self.start(level="root", task_level=2)
+        s.emit(EventKind.STEAL_TAKE, proc=0, level=0, r=1, s=1, thief=1)
+        verdict = verdict_of(StealSoundnessChecker(), s.events)
+        assert any("only allows the task level" in v for v in verdict.violations)
+
+    def test_self_steal_detected(self):
+        s = self.start()
+        s.emit(EventKind.STEAL_TAKE, proc=2, level=1, r=1, s=1, thief=2)
+        verdict = verdict_of(StealSoundnessChecker(), s.events)
+        assert any("from itself" in v for v in verdict.violations)
+
+    def test_grant_count_mismatch_detected(self):
+        s = self.start()
+        s.emit(EventKind.STEAL_TAKE, proc=0, level=1, r=1, s=1, thief=1)
+        s.emit(EventKind.STEAL_GRANTED, proc=1, victim=0, level=1, count=2)
+        verdict = verdict_of(StealSoundnessChecker(), s.events)
+        assert any("reports 2 pairs, but 1 were taken" in v for v in verdict.violations)
+
+    def test_pair_lost_in_transit_detected_at_end(self):
+        s = self.start()
+        s.emit(EventKind.STEAL_TAKE, proc=0, level=1, r=1, s=1, thief=1)
+        s.emit(EventKind.STEAL_GRANTED, proc=1, victim=0, level=1, count=1)
+        verdict = verdict_of(StealSoundnessChecker(), s.events)
+        assert any("never arrived" in v for v in verdict.violations)
+
+
+class TestBufferCoherence:
+    def test_lawful_traffic_passes(self):
+        s = Stream()
+        s.emit(EventKind.BUFFER_INSERT, proc=0, page=5)
+        s.emit(EventKind.BUFFER_HIT, proc=0, page=5, source="lru")
+        s.emit(EventKind.PAGE_REGISTERED, proc=0, page=5)
+        s.emit(EventKind.REMOTE_FETCH, proc=1, page=5, owner=0)
+        s.emit(EventKind.PAGE_DEREGISTERED, proc=0, page=5)
+        s.emit(EventKind.BUFFER_EVICT, proc=0, page=5)
+        verdict = verdict_of(BufferCoherenceChecker(), s.events)
+        assert verdict.ok
+        assert verdict.stats["lru_hits"] == 1
+        assert verdict.stats["remote_fetches"] == 1
+        assert verdict.stats["registered_at_end"] == 0
+
+    def test_phantom_lru_hit_detected(self):
+        s = Stream()
+        s.emit(EventKind.BUFFER_HIT, proc=0, page=9, source="lru")
+        verdict = verdict_of(BufferCoherenceChecker(), s.events)
+        assert any("not resident" in v for v in verdict.violations)
+
+    def test_path_hits_not_residency_checked(self):
+        # Path-buffer hits live outside the LRU; no residency obligation.
+        s = Stream()
+        s.emit(EventKind.BUFFER_HIT, proc=0, page=9, source="path")
+        assert verdict_of(BufferCoherenceChecker(), s.events).ok
+
+    def test_phantom_evict_detected(self):
+        s = Stream()
+        s.emit(EventKind.BUFFER_EVICT, proc=0, page=9)
+        verdict = verdict_of(BufferCoherenceChecker(), s.events)
+        assert any("never held" in v for v in verdict.violations)
+
+    def test_remote_fetch_from_wrong_owner_detected(self):
+        s = Stream()
+        s.emit(EventKind.PAGE_REGISTERED, proc=0, page=4)
+        s.emit(EventKind.REMOTE_FETCH, proc=2, page=4, owner=1)
+        verdict = verdict_of(BufferCoherenceChecker(), s.events)
+        assert any("directory registers P0" in v for v in verdict.violations)
+
+    def test_remote_fetch_from_self_detected(self):
+        s = Stream()
+        s.emit(EventKind.PAGE_REGISTERED, proc=1, page=4)
+        s.emit(EventKind.REMOTE_FETCH, proc=1, page=4, owner=1)
+        verdict = verdict_of(BufferCoherenceChecker(), s.events)
+        assert any("from itself" in v for v in verdict.violations)
+
+    def test_conflicting_registration_detected(self):
+        s = Stream()
+        s.emit(EventKind.PAGE_REGISTERED, proc=0, page=4)
+        s.emit(EventKind.PAGE_REGISTERED, proc=1, page=4)
+        verdict = verdict_of(BufferCoherenceChecker(), s.events)
+        assert any("still registered to P0" in v for v in verdict.violations)
+
+    def test_foreign_deregistration_detected(self):
+        s = Stream()
+        s.emit(EventKind.PAGE_REGISTERED, proc=0, page=4)
+        s.emit(EventKind.PAGE_DEREGISTERED, proc=1, page=4)
+        verdict = verdict_of(BufferCoherenceChecker(), s.events)
+        assert any("does not own" in v for v in verdict.violations)
+
+
+class TestDiskAccounting:
+    def test_lawful_requests_pass(self):
+        s = Stream()
+        s.emit(EventKind.RUN_START, disks=4)
+        s.emit(EventKind.DISK_ENQUEUE, proc=0, page=8, disk=0)
+        s.now = 0.0125
+        s.emit(EventKind.DISK_COMPLETE, proc=0, page=8, disk=0, start=0.0)
+        s.emit(EventKind.DISK_ENQUEUE, proc=1, page=4, disk=0)
+        s.now = 0.025
+        s.emit(EventKind.DISK_COMPLETE, proc=1, page=4, disk=0, start=0.0125)
+        verdict = verdict_of(DiskAccountingChecker(), s.events)
+        assert verdict.ok
+        assert verdict.stats["disk_reads"] == 2
+
+    def test_wrong_disk_detected(self):
+        s = Stream()
+        s.emit(EventKind.RUN_START, disks=4)
+        s.emit(EventKind.DISK_ENQUEUE, proc=0, page=9, disk=0)
+        verdict = verdict_of(DiskAccountingChecker(), s.events)
+        assert any("expected 1" in v for v in verdict.violations)
+
+    def test_completion_without_enqueue_detected(self):
+        s = Stream()
+        s.emit(EventKind.DISK_COMPLETE, proc=0, page=8, disk=0, start=0.0)
+        verdict = verdict_of(DiskAccountingChecker(), s.events)
+        assert any("without enqueue" in v for v in verdict.violations)
+
+    def test_overlapping_service_detected(self):
+        s = Stream()
+        s.emit(EventKind.RUN_START, disks=4)
+        s.emit(EventKind.DISK_ENQUEUE, proc=0, page=8, disk=0)
+        s.emit(EventKind.DISK_ENQUEUE, proc=1, page=4, disk=0)
+        s.now = 0.0125
+        s.emit(EventKind.DISK_COMPLETE, proc=0, page=8, disk=0, start=0.0)
+        s.now = 0.015
+        # Second request started before the first finished.
+        s.emit(EventKind.DISK_COMPLETE, proc=1, page=4, disk=0, start=0.01)
+        verdict = verdict_of(DiskAccountingChecker(), s.events)
+        assert any("while busy until" in v for v in verdict.violations)
+
+    def test_unfinished_request_detected_at_end(self):
+        s = Stream()
+        s.emit(EventKind.RUN_START, disks=4)
+        s.emit(EventKind.DISK_ENQUEUE, proc=0, page=8, disk=0)
+        verdict = verdict_of(DiskAccountingChecker(), s.events)
+        assert any("never completed" in v for v in verdict.violations)
+
+
+class TestClockMonotonicity:
+    def test_forward_time_passes(self):
+        s = Stream()
+        s.emit(EventKind.RUN_START)
+        s.now = 1.0
+        s.emit(EventKind.EXEC_START, proc=0, r=1, s=1)
+        s.now = 2.0
+        s.emit(EventKind.EXEC_START, proc=1, r=2, s=2)
+        verdict = verdict_of(ClockMonotonicityChecker(), s.events)
+        assert verdict.ok
+        assert verdict.stats["processors_seen"] == 2
+
+    def test_backwards_time_detected(self):
+        events = [
+            TraceEvent(0, 1.0, EventKind.RUN_START),
+            TraceEvent(1, 0.5, EventKind.RUN_END),
+        ]
+        verdict = verdict_of(ClockMonotonicityChecker(), events)
+        assert any("ran backwards" in v for v in verdict.violations)
+
+    def test_non_monotone_seq_detected(self):
+        events = [
+            TraceEvent(5, 0.0, EventKind.RUN_START),
+            TraceEvent(5, 0.0, EventKind.RUN_END),
+        ]
+        verdict = verdict_of(ClockMonotonicityChecker(), events)
+        assert any("sequence number" in v for v in verdict.violations)
+
+
+class TestCheckerPlumbing:
+    def test_default_checkers_are_the_five_standard_ones(self):
+        names = [checker.name for checker in default_checkers()]
+        assert names == [
+            "task-conservation",
+            "steal-soundness",
+            "buffer-coherence",
+            "disk-accounting",
+            "clock-monotonicity",
+        ]
+
+    def test_run_checkers_replays_everything(self):
+        s = Stream()
+        s.emit(EventKind.RUN_START, disks=2, reassign_level="all", task_level=1)
+        s.emit(EventKind.RUN_END)
+        verdicts = run_checkers(s.events)
+        assert len(verdicts) == 5
+        assert all(v.ok for v in verdicts)
+
+    def test_violation_storage_is_capped(self):
+        from repro.trace.checkers import MAX_STORED_VIOLATIONS
+
+        checker = ClockMonotonicityChecker()
+        events = [
+            TraceEvent(0, float(MAX_STORED_VIOLATIONS + 10 - i), EventKind.RUN_START)
+            for i in range(MAX_STORED_VIOLATIONS + 10)
+        ]
+        verdict = verdict_of(checker, events)
+        assert verdict.violation_count >= MAX_STORED_VIOLATIONS
+        assert len(verdict.violations) == MAX_STORED_VIOLATIONS
+
+    def test_verdict_summary_mentions_counts(self):
+        s = Stream()
+        s.emit(EventKind.PAIR_ENQUEUED, proc=0, level=1, r=1, s=1)
+        verdict = verdict_of(TaskConservationChecker(), s.events)
+        assert verdict.checker in verdict.summary()
+        assert "violation" in verdict.summary()

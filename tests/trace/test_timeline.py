@@ -1,0 +1,90 @@
+"""Golden tests for the text timeline renderer."""
+
+from repro.trace import EventKind, TraceEvent, render_timeline, steal_timeline
+from repro.trace.timeline import format_event
+
+EVENTS = [
+    TraceEvent(0, 0.0, EventKind.RUN_START, -1, {"processors": 2}),
+    TraceEvent(1, 0.0, EventKind.PAIR_ENQUEUED, 0, {"level": 2, "r": 3, "s": 9}),
+    TraceEvent(2, 1.5, EventKind.BUFFER_HIT, 0, {"page": 7, "source": "lru"}),
+    TraceEvent(3, 2.0, EventKind.STEAL_REQUESTED, 1),
+    TraceEvent(
+        4, 2.0, EventKind.STEAL_TAKE, 0, {"level": 2, "r": 3, "s": 9, "thief": 1}
+    ),
+    TraceEvent(
+        5, 2.25, EventKind.STEAL_GRANTED, 1, {"victim": 0, "level": 2, "count": 1}
+    ),
+    TraceEvent(6, 3.0, EventKind.RUN_END, -1, {"candidates": 17}),
+]
+
+
+class TestFormatEvent:
+    def test_golden_line_with_payload(self):
+        line = format_event(EVENTS[2])
+        assert line == (
+            "    1.500000  P0   buffer_hit       page=7 source=lru"
+        )
+
+    def test_golden_line_machine_global(self):
+        line = format_event(EVENTS[0])
+        assert line == "    0.000000  --   run_start        processors=2"
+
+    def test_golden_line_no_payload(self):
+        line = format_event(EVENTS[3])
+        assert line == "    2.000000  P1   steal_requested"
+
+    def test_float_payload_compact(self):
+        event = TraceEvent(9, 0.5, EventKind.DISK_COMPLETE, 2, {"start": 0.25})
+        assert format_event(event).endswith("start=0.25")
+
+
+class TestRenderTimeline:
+    def test_full_golden_output(self):
+        expected = "\n".join(
+            [
+                "    0.000000  --   run_start        processors=2",
+                "    0.000000  P0   pair_enqueued    level=2 r=3 s=9",
+                "    1.500000  P0   buffer_hit       page=7 source=lru",
+                "    2.000000  P1   steal_requested",
+                "    2.000000  P0   steal_take       level=2 r=3 s=9 thief=1",
+                "    2.250000  P1   steal_granted    victim=0 level=2 count=1",
+                "    3.000000  --   run_end          candidates=17",
+            ]
+        )
+        assert render_timeline(EVENTS) == expected
+
+    def test_kind_filter(self):
+        out = render_timeline(EVENTS, kinds=[EventKind.BUFFER_HIT])
+        assert out.splitlines() == [
+            "    1.500000  P0   buffer_hit       page=7 source=lru"
+        ]
+
+    def test_proc_filter(self):
+        out = render_timeline(EVENTS, procs=[1])
+        assert [line.split()[1] for line in out.splitlines()] == ["P1", "P1"]
+
+    def test_time_window(self):
+        out = render_timeline(EVENTS, start=1.0, end=2.0)
+        assert len(out.splitlines()) == 3  # t=1.5 and the two t=2.0 events
+
+    def test_limit_reports_suppressed(self):
+        out = render_timeline(EVENTS, limit=2)
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert lines[-1] == "... 5 more event(s) suppressed"
+
+    def test_empty_stream(self):
+        assert render_timeline([]) == ""
+
+
+class TestStealTimeline:
+    def test_only_reassignment_events(self):
+        out = steal_timeline(EVENTS)
+        kinds = [line.split()[2] for line in out.splitlines()]
+        assert kinds == ["steal_requested", "steal_take", "steal_granted"]
+
+    def test_composes_with_filters(self):
+        out = steal_timeline(EVENTS, procs=[1], limit=1)
+        lines = out.splitlines()
+        assert lines[0].split()[2] == "steal_requested"
+        assert lines[-1] == "... 1 more event(s) suppressed"

@@ -1,0 +1,126 @@
+"""Unit tests for the event bus: tracer stamping, sinks, JSONL round-trip."""
+
+import io
+
+from repro.trace import (
+    NULL_TRACER,
+    EventKind,
+    JSONLSink,
+    ListSink,
+    TraceEvent,
+    Tracer,
+    read_jsonl,
+)
+from repro.trace.sinks import TraceSink
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestTracer:
+    def test_emit_stamps_monotone_seq_and_clock(self):
+        clock = FakeClock()
+        sink = ListSink()
+        tracer = Tracer(clock=clock, sinks=[sink])
+        tracer.emit(EventKind.RUN_START, processors=4)
+        clock.now = 1.25
+        tracer.emit(EventKind.BUFFER_HIT, proc=2, page=7, source="lru")
+        tracer.emit(EventKind.RUN_END)
+        assert [e.seq for e in sink.events] == [0, 1, 2]
+        assert [e.time for e in sink.events] == [0.0, 1.25, 1.25]
+        assert tracer.events_emitted == 3
+        hit = sink.events[1]
+        assert hit.kind is EventKind.BUFFER_HIT
+        assert hit.proc == 2
+        assert hit.data == {"page": 7, "source": "lru"}
+
+    def test_fans_out_to_every_sink(self):
+        a, b = ListSink(), ListSink()
+        tracer = Tracer(sinks=[a, b])
+        tracer.emit(EventKind.RUN_START)
+        assert len(a) == len(b) == 1
+        assert a.events == b.events
+
+    def test_close_closes_sinks(self):
+        closed = []
+
+        class Closeable:
+            def handle(self, event):
+                pass
+
+            def close(self):
+                closed.append(True)
+
+        tracer = Tracer(sinks=[Closeable(), ListSink()])
+        tracer.close()
+        assert closed == [True]
+
+    def test_sinks_satisfy_protocol(self):
+        assert isinstance(ListSink(), TraceSink)
+        assert isinstance(JSONLSink(io.StringIO()), TraceSink)
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.emit(EventKind.RUN_START, processors=8)
+        assert NULL_TRACER.events_emitted == 0
+        assert NULL_TRACER.sinks == []
+
+    def test_guarded_site_never_builds_an_event(self):
+        # The instrumentation idiom: the emit call is never even reached.
+        if NULL_TRACER.enabled:  # pragma: no cover - must not trigger
+            raise AssertionError("null tracer claims to be enabled")
+
+
+class TestJSONLRoundTrip:
+    def test_path_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JSONLSink(path)
+        tracer = Tracer(sinks=[sink])
+        tracer.emit(EventKind.RUN_START, processors=2, variant="lsr")
+        tracer.emit(EventKind.DISK_COMPLETE, proc=1, page=9, disk=1, start=0.5)
+        tracer.close()
+        assert sink.written == 2
+        replayed = read_jsonl(path)
+        assert len(replayed) == 2
+        assert replayed[0].kind is EventKind.RUN_START
+        assert replayed[0].data == {"processors": 2, "variant": "lsr"}
+        assert replayed[1] == TraceEvent(
+            1, 0.0, EventKind.DISK_COMPLETE, 1, {"page": 9, "disk": 1, "start": 0.5}
+        )
+
+    def test_stream_target_left_open(self):
+        stream = io.StringIO()
+        sink = JSONLSink(stream)
+        sink.handle(TraceEvent(0, 0.0, EventKind.RUN_START))
+        sink.close()
+        assert not stream.closed  # sink does not own the stream
+        lines = stream.getvalue().splitlines()
+        assert read_jsonl(lines) == [TraceEvent(0, 0.0, EventKind.RUN_START)]
+
+    def test_blank_lines_ignored(self):
+        event = TraceEvent(4, 2.5, EventKind.STEAL_DENIED, 3)
+        import json
+
+        lines = ["", json.dumps(event.to_json_dict()), "   ", ""]
+        assert read_jsonl(lines) == [event]
+
+
+class TestTraceEvent:
+    def test_json_dict_round_trip(self):
+        event = TraceEvent(
+            12, 3.5, EventKind.STEAL_TAKE, 0, {"r": 1, "s": 2, "thief": 3}
+        )
+        assert TraceEvent.from_json_dict(event.to_json_dict()) == event
+
+    def test_defaults(self):
+        raw = {"seq": 0, "time": 0.0, "kind": "run_end"}
+        event = TraceEvent.from_json_dict(raw)
+        assert event.proc == -1
+        assert event.data == {}
