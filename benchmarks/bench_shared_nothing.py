@@ -9,7 +9,17 @@ assignment keeps accesses local (fewest remote fetches), spatially blind
 placement turns most accesses into network traffic.
 """
 
-from repro.bench import active_scale, get_workload, heading, render_table, report, scaled_pages
+import time
+
+from repro.bench import (
+    active_scale,
+    get_workload,
+    heading,
+    render_table,
+    report,
+    report_json,
+    scaled_pages,
+)
 from repro.join import GD, ParallelJoinConfig, ReassignLevel, ReassignmentPolicy, parallel_spatial_join
 from repro.join.assignment import AssignmentMode
 from repro.join.shared_nothing import Placement, SharedNothingConfig, shared_nothing_join
@@ -70,7 +80,9 @@ def run_grid(workload):
 
 
 def bench_shared_nothing(benchmark, workload):
+    started = time.perf_counter()
     rows = benchmark.pedantic(run_grid, args=(workload,), rounds=1, iterations=1)
+    wall = time.perf_counter() - started
     report(
         "shared_nothing",
         heading(f"Shared-nothing join (scale={active_scale()}, n=8)")
@@ -80,6 +92,16 @@ def bench_shared_nothing(benchmark, workload):
             ["architecture", "assignment", "response (s)", "disk accesses",
              "remote fetches"],
         ),
+    )
+    report_json(
+        "shared_nothing",
+        {
+            "bench": "shared_nothing",
+            "scale": active_scale(),
+            "wall_time_s": wall,
+            "config": {"nodes": 8, "buffer_paper_pages_per_node": 100},
+            "rows": rows,
+        },
     )
     by_key = {(r["architecture"], r["assignment"]): r for r in rows}
     spatial_range = by_key[("SN spatial", "range")]

@@ -18,7 +18,14 @@ from .harness import (
     set_tracing,
     trace_reports,
 )
-from .render import ascii_chart, heading, render_series, render_table, report
+from .render import (
+    ascii_chart,
+    heading,
+    render_series,
+    render_table,
+    report,
+    report_json,
+)
 from .tables import PAPER_TABLE1, table1_rows, table2_rows
 
 __all__ = [
@@ -43,5 +50,6 @@ __all__ = [
     "render_series",
     "heading",
     "report",
+    "report_json",
     "ascii_chart",
 ]

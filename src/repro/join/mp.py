@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
 from typing import Hashable, Optional
 
 from ..rtree.node import Node
@@ -83,7 +84,16 @@ def multiprocessing_join(
     tasks = create_tasks(tree_r, tree_s, min_tasks=processes * 4)
     if not tasks:
         return []
-    if processes <= 1 or "fork" not in multiprocessing.get_all_start_methods():
+    fork_supported = "fork" in multiprocessing.get_all_start_methods()
+    if processes > 1 and not fork_supported:
+        warnings.warn(
+            "the 'fork' start method is unavailable on this platform "
+            "(spawn-only); multiprocessing_join runs the serial fallback — "
+            "trees cannot be inherited without serialisation",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    if processes <= 1 or not fork_supported:
         pairs: list[tuple[Hashable, Hashable]] = []
         for task in tasks:
             pairs.extend(join_subtrees(task.node_r, task.node_s))

@@ -1,5 +1,6 @@
 """Parallel spatial query processing beyond the join (paper future work)."""
 
+from .batch import multi_window_query
 from .parallel import (
     ParallelQueryConfig,
     ParallelQueryResult,
@@ -14,4 +15,5 @@ __all__ = [
     "parallel_window_query",
     "parallel_knn",
     "prepare_tree",
+    "multi_window_query",
 ]

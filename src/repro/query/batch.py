@@ -1,0 +1,51 @@
+"""Shared-traversal evaluation of a *batch* of window queries.
+
+The serving engine's micro-batcher (:mod:`repro.service.batcher`) coalesces
+window queries that arrive close together in time; this module supplies the
+execution side: **one** R*-tree traversal answers the whole batch.  At each
+directory node the batch is narrowed to the windows that intersect the
+node's entries, so subtrees relevant to no window are pruned once for the
+entire batch and directory pages shared by several windows are inspected
+once instead of once per query — the page-sharing effect the paper's
+global buffer achieves across processors, obtained here across queries.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..rtree.entry import Entry
+
+__all__ = ["multi_window_query"]
+
+
+def multi_window_query(tree, windows: Sequence) -> list[list[Entry]]:
+    """Answer all *windows* against *tree* in a single traversal.
+
+    Returns one entry list per window, positionally aligned with the
+    input.  Each list equals what :func:`repro.rtree.query.window_query`
+    returns for that window alone (as a set of entries; the visit order
+    may differ because the traversal is driven by the union of windows).
+    """
+    results: list[list[Entry]] = [[] for _ in windows]
+    if not windows or tree.size == 0:
+        return results
+    # (node, indices of windows that may have entries under it)
+    stack: list[tuple[object, list[int]]] = [
+        (tree.root, list(range(len(windows))))
+    ]
+    while stack:
+        node, active = stack.pop()
+        if node.is_leaf:
+            for entry in node.entries:
+                for index in active:
+                    if entry.intersects(windows[index]):
+                        results[index].append(entry)
+        else:
+            for entry in node.entries:
+                surviving = [
+                    index for index in active if entry.intersects(windows[index])
+                ]
+                if surviving:
+                    stack.append((entry.child, surviving))
+    return results

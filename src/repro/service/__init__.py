@@ -1,0 +1,59 @@
+"""A concurrent spatial-query serving engine over pre-built R*-trees.
+
+The paper closes by asking for "a larger framework for parallel spatial
+query processing" (section 5); this package is that framework's serving
+tier.  An asyncio :class:`Engine` accepts concurrent **window**, **kNN**
+and **spatial-join** requests and executes them on a pool of forked
+workers that inherit the in-memory trees (the process-level shared
+virtual memory of :mod:`repro.join.mp`), with
+
+* **admission control** — global in-flight bound, per-class waiting-room
+  and concurrency limits, per-request timeout, graceful draining stop;
+* a **micro-batcher** coalescing near-simultaneous window queries into
+  one shared tree traversal (:mod:`repro.service.batcher`);
+* an **LRU + TTL result cache** on canonicalised query keys
+  (:mod:`repro.service.cache`);
+* a **metrics layer** fed purely by ``SVC_*`` events on the
+  :mod:`repro.trace` bus (:mod:`repro.service.metrics`), so the existing
+  sinks, timelines and checkers apply to serving runs;
+* a **load generator** — ``python -m repro.service.loadgen`` — with
+  closed- and open-loop arrival models that prints a latency/throughput
+  report and emits ``BENCH_service.json``.
+"""
+
+from .batcher import MicroBatcher
+from .cache import MISS, ResultCache
+from .engine import Engine, EngineConfig
+from .metrics import LatencyReservoir, ServiceMetrics, percentile
+from .model import (
+    JoinRequest,
+    KNNRequest,
+    Request,
+    RequestClass,
+    Response,
+    Status,
+    WindowRequest,
+    canonical_rect,
+)
+from .workers import WorkerPool, fork_available
+
+__all__ = [
+    "Engine",
+    "EngineConfig",
+    "RequestClass",
+    "Status",
+    "WindowRequest",
+    "KNNRequest",
+    "JoinRequest",
+    "Request",
+    "Response",
+    "canonical_rect",
+    "ResultCache",
+    "MISS",
+    "MicroBatcher",
+    "ServiceMetrics",
+    "LatencyReservoir",
+    "percentile",
+    "WorkerPool",
+    "fork_available",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.service`` — shorthand for the load generator."""
+
+from .loadgen import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

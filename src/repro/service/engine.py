@@ -1,0 +1,383 @@
+"""The serving engine: concurrent spatial queries over pre-built R*-trees.
+
+``Engine`` is the front door of :mod:`repro.service`.  Callers submit
+typed requests (:mod:`repro.service.model`) from any number of asyncio
+tasks; the engine
+
+1. applies **admission control** — a global in-flight bound, a per-class
+   waiting-room bound and per-class execution concurrency limits — and
+   rejects immediately rather than queueing unboundedly;
+2. consults the **result cache** (LRU + TTL, canonical query keys);
+3. routes cache misses to the execution backend: window queries through
+   the **micro-batcher** (one shared traversal per batch), kNN and join
+   requests straight to the **worker pool** (forked processes inheriting
+   the trees, the `join/mp.py` SVM trick, or threads where fork is
+   unavailable);
+4. enforces a per-request **timeout** and supports caller cancellation;
+5. emits every transition as an ``SVC_*`` event on a wall-clocked
+   :class:`~repro.trace.tracer.Tracer`, with :class:`ServiceMetrics` as a
+   standing sink — so JSONL sinks, timelines and the
+   :class:`~repro.trace.checkers.ServiceAccountingChecker` work on
+   serving runs exactly like on simulation runs.
+
+Shutdown is graceful: ``stop()`` stops admitting, drains every in-flight
+request (batches included), then releases the worker pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from ..trace import EventKind, Tracer
+from .batcher import MicroBatcher, PendingWindow
+from .cache import MISS, ResultCache
+from .metrics import ServiceMetrics
+from .model import (
+    JoinRequest,
+    KNNRequest,
+    Request,
+    RequestClass,
+    Response,
+    Status,
+    WindowRequest,
+    canonical_rect,
+)
+from .workers import WorkerPool
+
+__all__ = ["Engine", "EngineConfig"]
+
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs of the serving engine.
+
+    ``workers``          — forked worker processes (0 = thread fallback);
+    ``max_inflight``     — global bound on admitted-but-unfinished requests;
+    ``queue_limit``      — per-class bound on requests waiting for execution;
+    ``window_limit`` / ``knn_limit`` / ``join_limit``
+                         — per-class concurrent executions (batches count
+                           once for the whole batch);
+    ``default_timeout_s``— per-request timeout unless overridden at submit;
+    ``batching`` / ``batch_window_s`` / ``max_batch``
+                         — micro-batcher switch, coalescing window, cap;
+    ``cache_capacity`` / ``cache_ttl_s``
+                         — result cache size (0 disables) and TTL.
+    """
+
+    workers: int = 0
+    max_inflight: int = 128
+    queue_limit: int = 1024
+    window_limit: int = 32
+    knn_limit: int = 16
+    join_limit: int = 2
+    default_timeout_s: Optional[float] = 10.0
+    batching: bool = True
+    batch_window_s: float = 0.002
+    max_batch: int = 16
+    cache_capacity: int = 1024
+    cache_ttl_s: Optional[float] = 60.0
+
+
+class Engine:
+    """Concurrent spatial-query engine over a named-tree registry."""
+
+    def __init__(
+        self,
+        trees: Mapping[str, object],
+        config: Optional[EngineConfig] = None,
+        *,
+        sinks: Sequence = (),
+    ):
+        if not trees:
+            raise ValueError("the engine needs at least one tree")
+        self.config = config or EngineConfig()
+        self.trees = dict(trees)
+        self.metrics = ServiceMetrics()
+        self._t0 = time.monotonic()
+        self.tracer = Tracer(
+            clock=lambda: time.monotonic() - self._t0,
+            sinks=[self.metrics, *sinks],
+        )
+        self.cache = ResultCache(
+            self.config.cache_capacity,
+            self.config.cache_ttl_s,
+            tracer=self.tracer,
+        )
+        self.pool = WorkerPool(self.trees, self.config.workers)
+        self.batcher = MicroBatcher(
+            self._run_window_group,
+            window_s=self.config.batch_window_s,
+            max_batch=self.config.max_batch,
+        )
+        self._running = False
+        self._draining = False
+        self._inflight = 0
+        self._waiting = {cls: 0 for cls in RequestClass}
+        self._sems: dict[RequestClass, asyncio.Semaphore] = {}
+        self._idle: Optional[asyncio.Event] = None
+
+    # -- life cycle -----------------------------------------------------------
+    async def start(self) -> None:
+        if self._running:
+            raise RuntimeError("engine already started")
+        self._sems = {
+            RequestClass.WINDOW: asyncio.Semaphore(self.config.window_limit),
+            RequestClass.KNN: asyncio.Semaphore(self.config.knn_limit),
+            RequestClass.JOIN: asyncio.Semaphore(self.config.join_limit),
+        }
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self.pool.start()
+        if self.config.batching:
+            self.batcher.start()
+        self._running = True
+        self._draining = False
+        self.tracer.emit(
+            EventKind.SVC_ENGINE_START,
+            trees=",".join(sorted(self.trees)),
+            workers=self.config.workers,
+            forked=int(self.pool.forked),
+            batching=int(self.config.batching),
+        )
+
+    async def stop(self) -> None:
+        """Stop admitting, drain in-flight work, release the backend."""
+        if not self._running:
+            return
+        self._draining = True
+        await self._idle.wait()
+        if self.config.batching:
+            await self.batcher.close()
+        await self.pool.close()
+        self._running = False
+        self.tracer.emit(
+            EventKind.SVC_ENGINE_STOP,
+            completed=self.metrics.completed,
+            rejected=self.metrics.rejected,
+            timeouts=self.metrics.timeouts,
+        )
+        self.tracer.close()
+
+    async def __aenter__(self) -> "Engine":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- front door -----------------------------------------------------------
+    async def submit(self, request: Request, timeout=_UNSET) -> Response:
+        """Serve one request; always returns a terminal :class:`Response`
+        (admission rejections included) except on caller cancellation."""
+        cls = request.cls
+        t0 = self._now()
+        self._emit(EventKind.SVC_REQUEST_SUBMITTED, cls)
+        if not self._running or self._draining:
+            return self._reject(cls, t0, "shutdown", "engine is not accepting requests")
+        if self._inflight >= self.config.max_inflight:
+            return self._reject(
+                cls, t0, "capacity",
+                f"in-flight limit {self.config.max_inflight} reached",
+            )
+        if self._waiting[cls] >= self.config.queue_limit:
+            return self._reject(
+                cls, t0, "queue",
+                f"waiting-room limit {self.config.queue_limit} reached for "
+                f"class {cls.value}",
+            )
+        use_cache = self.config.cache_capacity > 0 and request.cacheable
+        self._inflight += 1
+        self._idle.clear()
+        self._emit(
+            EventKind.SVC_REQUEST_ADMITTED,
+            cls,
+            cache=int(use_cache),
+            inflight=self._inflight,
+        )
+        if timeout is _UNSET:
+            timeout = self.config.default_timeout_s
+        try:
+            try:
+                work = self._process(request, use_cache, t0)
+                if timeout is not None:
+                    response = await asyncio.wait_for(work, timeout)
+                else:
+                    response = await work
+            except asyncio.TimeoutError:
+                self._emit(EventKind.SVC_REQUEST_TIMEOUT, cls, cache=int(use_cache))
+                return Response(
+                    Status.TIMEOUT,
+                    cls,
+                    latency_s=self._now() - t0,
+                    detail=f"timed out after {timeout}s",
+                )
+            except asyncio.CancelledError:
+                self._emit(EventKind.SVC_REQUEST_CANCELLED, cls, cache=int(use_cache))
+                raise
+            except Exception as exc:
+                self._emit(
+                    EventKind.SVC_REQUEST_ERROR, cls, error=type(exc).__name__
+                )
+                return Response(
+                    Status.ERROR,
+                    cls,
+                    latency_s=self._now() - t0,
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+            self._emit(
+                EventKind.SVC_REQUEST_COMPLETED,
+                cls,
+                latency_s=response.latency_s,
+                cached=int(response.cached),
+                batch=response.batch_size,
+            )
+            return response
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+
+    # -- request processing ---------------------------------------------------
+    async def _process(self, request: Request, use_cache: bool, t0: float) -> Response:
+        cls = request.cls
+        key = request.cache_key() if use_cache else None
+        if use_cache:
+            value = self.cache.get(key)
+            if value is not MISS:
+                return Response(
+                    Status.OK, cls, value=value,
+                    latency_s=self._now() - t0, cached=True,
+                )
+        if isinstance(request, WindowRequest):
+            self._require_tree(request.tree)
+            if self.config.batching:
+                future = asyncio.get_running_loop().create_future()
+                await self.batcher.put(
+                    PendingWindow(request, future, use_cache, self._now())
+                )
+                value, batch_size = await future
+                return Response(
+                    Status.OK, cls, value=value,
+                    latency_s=self._now() - t0, batch_size=batch_size,
+                )
+            values = await self._guarded(
+                cls, "windows", request.tree, [canonical_rect(request.window)]
+            )
+            value = values[0]
+            batch_size = 1
+        elif isinstance(request, KNNRequest):
+            self._require_tree(request.tree)
+            if request.k < 1:
+                raise ValueError("k must be at least 1")
+            value = await self._guarded(
+                cls, "knn", request.tree, float(request.x), float(request.y),
+                int(request.k),
+            )
+            batch_size = 0
+        elif isinstance(request, JoinRequest):
+            self._require_tree(request.tree_r)
+            self._require_tree(request.tree_s)
+            window = (
+                canonical_rect(request.window)
+                if request.window is not None
+                else None
+            )
+            value = await self._guarded(
+                cls, "join", request.tree_r, request.tree_s, window
+            )
+            batch_size = 0
+        else:
+            raise TypeError(f"unknown request type {type(request).__name__}")
+        if use_cache:
+            self.cache.put(key, value)
+        return Response(
+            Status.OK, cls, value=value,
+            latency_s=self._now() - t0, batch_size=batch_size,
+        )
+
+    async def _guarded(self, cls: RequestClass, kind: str, *args):
+        """One worker-pool execution under the class concurrency limit."""
+        self._waiting[cls] += 1
+        try:
+            await self._sems[cls].acquire()
+        finally:
+            self._waiting[cls] -= 1
+        try:
+            return await self.pool.run(kind, *args)
+        finally:
+            self._sems[cls].release()
+
+    async def _run_window_group(self, tree_name: str, items: list) -> None:
+        """Execute one micro-batch and settle every member's future."""
+        rects = [canonical_rect(item.request.window) for item in items]
+        try:
+            values = await self._guarded(
+                RequestClass.WINDOW, "windows", tree_name, rects
+            )
+        except Exception as exc:
+            for item in items:
+                if not item.future.done():
+                    item.future.set_exception(exc)
+            return
+        size = len(items)
+        self._emit(
+            EventKind.SVC_BATCH_EXECUTED,
+            RequestClass.WINDOW,
+            tree=tree_name,
+            size=size,
+        )
+        for item, value in zip(items, values):
+            if item.use_cache:
+                self.cache.put(item.request.cache_key(), value)
+            if not item.future.done():
+                item.future.set_result((value, size))
+
+    # -- helpers --------------------------------------------------------------
+    def _now(self) -> float:
+        return time.monotonic() - self._t0
+
+    def _emit(self, kind: EventKind, cls: Optional[RequestClass] = None, **data):
+        if self.tracer.enabled:
+            if cls is not None:
+                data["cls"] = cls.value
+            self.tracer.emit(kind, **data)
+
+    def _reject(
+        self, cls: RequestClass, t0: float, reason: str, detail: str
+    ) -> Response:
+        self._emit(EventKind.SVC_REQUEST_REJECTED, cls, reason=reason)
+        return Response(
+            Status.REJECTED, cls, latency_s=self._now() - t0, detail=detail
+        )
+
+    def _require_tree(self, name: str) -> None:
+        if name not in self.trees:
+            raise KeyError(f"unknown tree {name!r}; have {sorted(self.trees)}")
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def snapshot(self) -> dict:
+        """Metrics + cache counters, JSON-able."""
+        return {
+            "metrics": self.metrics.report(),
+            "cache": self.cache.stats(),
+            "inflight": self._inflight,
+            "running": self._running,
+        }
+
+    def __repr__(self) -> str:
+        state = (
+            "draining" if self._draining and self._running
+            else "running" if self._running else "stopped"
+        )
+        return (
+            f"<Engine {state} trees={sorted(self.trees)} "
+            f"inflight={self._inflight}>"
+        )

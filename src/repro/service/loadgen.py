@@ -1,0 +1,352 @@
+"""Load generator for the serving engine (``python -m repro.service.loadgen``).
+
+Drives an :class:`~repro.service.engine.Engine` over the synthetic paper
+maps with either arrival model of the serving literature:
+
+* **closed loop** — ``--clients N`` clients, each issuing its next request
+  the moment the previous response arrives (throughput-bound, measures
+  the engine's capacity);
+* **open loop** — Poisson arrivals at ``--rate R`` requests/second,
+  independent of response times (latency-bound, measures behaviour under
+  a fixed offered load, including admission-control rejections).
+
+The request mix is mostly window queries (a configurable share of kNN,
+optional periodic joins); a configurable *hot fraction* of requests is
+drawn from a small set of popular windows so the result cache has
+something to do.  The run prints a per-class latency/throughput report
+and writes ``BENCH_service.json`` (via :func:`repro.bench.report_json`)
+with the p50/p95/p99 latencies, throughput, admission counters, cache
+counters and — with ``--compare-batching`` — the measured throughput gain
+of micro-batching over the batch-size-1 baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import random
+import time
+from collections import Counter
+from typing import Optional
+
+from ..bench.render import heading, render_table, report_json
+from ..datagen import build_tree, paper_maps
+from ..geometry.rect import Rect
+from .engine import Engine, EngineConfig
+from .model import JoinRequest, KNNRequest, WindowRequest
+
+__all__ = ["main", "run_load", "build_trees", "RequestFactory"]
+
+
+def build_trees(scale: float, seed: int):
+    """The two paper maps as a named-tree registry for the engine."""
+    map1, map2 = paper_maps(scale=scale, seed=seed)
+    return (
+        {"map1": build_tree(map1), "map2": build_tree(map2)},
+        map1.region,
+    )
+
+
+class RequestFactory:
+    """Seeded generator of the workload's request mix."""
+
+    def __init__(
+        self,
+        region,
+        seed: int,
+        *,
+        knn_share: float = 0.1,
+        join_share: float = 0.0,
+        hot_fraction: float = 0.25,
+        hot_set_size: int = 32,
+        min_side: float = 0.02,
+        max_side: float = 0.10,
+    ):
+        self.side = region.side
+        self.knn_share = knn_share
+        self.join_share = join_share
+        self.hot_fraction = hot_fraction
+        self.min_side = min_side
+        self.max_side = max_side
+        hot_rng = random.Random(seed)
+        self.hot_windows = [
+            self._window(hot_rng) for _ in range(hot_set_size)
+        ]
+
+    def _window(self, rng: random.Random) -> Rect:
+        extent = rng.uniform(self.min_side, self.max_side) * self.side
+        x = rng.uniform(0.0, self.side - extent)
+        y = rng.uniform(0.0, self.side - extent)
+        return Rect(x, y, x + extent, y + extent)
+
+    def make(self, rng: random.Random):
+        roll = rng.random()
+        if roll < self.join_share:
+            return JoinRequest("map1", "map2", window=self._window(rng))
+        if roll < self.join_share + self.knn_share:
+            return KNNRequest(
+                rng.choice(("map1", "map2")),
+                rng.uniform(0.0, self.side),
+                rng.uniform(0.0, self.side),
+                rng.randint(1, 20),
+            )
+        tree = rng.choice(("map1", "map2"))
+        if rng.random() < self.hot_fraction:
+            return WindowRequest(tree, rng.choice(self.hot_windows))
+        return WindowRequest(tree, self._window(rng))
+
+
+async def run_load(
+    trees,
+    region,
+    *,
+    duration_s: float,
+    mode: str,
+    clients: int,
+    rate: float,
+    seed: int,
+    factory: Optional[RequestFactory] = None,
+    config: Optional[EngineConfig] = None,
+    timeout_s: Optional[float] = None,
+) -> dict:
+    """One load-test run; returns the JSON-able summary."""
+    factory = factory or RequestFactory(region, seed)
+    engine = Engine(trees, config or EngineConfig())
+    statuses: Counter = Counter()
+    submitted = 0
+    await engine.start()
+    wall_start = time.perf_counter()
+    deadline = wall_start + duration_s
+
+    async def issue(rng: random.Random) -> None:
+        nonlocal submitted
+        submitted += 1
+        response = await engine.submit(
+            factory.make(rng),
+            **({} if timeout_s is None else {"timeout": timeout_s}),
+        )
+        statuses[response.status.value] += 1
+
+    if mode == "closed":
+
+        async def client(index: int) -> None:
+            rng = random.Random(seed * 7919 + index)
+            while time.perf_counter() < deadline:
+                await issue(rng)
+
+        await asyncio.gather(*(client(i) for i in range(clients)))
+    elif mode == "open":
+        rng = random.Random(seed)
+        tasks = []
+        while time.perf_counter() < deadline:
+            await asyncio.sleep(rng.expovariate(rate))
+            tasks.append(asyncio.create_task(issue(random.Random(rng.random()))))
+        if tasks:
+            await asyncio.gather(*tasks)
+    else:
+        raise ValueError(f"unknown mode {mode!r} (closed|open)")
+
+    elapsed = time.perf_counter() - wall_start
+    await engine.stop()
+    report = engine.metrics.report(elapsed)
+    return {
+        "mode": mode,
+        "duration_s": duration_s,
+        "elapsed_s": elapsed,
+        "clients": clients if mode == "closed" else None,
+        "offered_rate_rps": rate if mode == "open" else None,
+        "submitted": submitted,
+        "statuses": dict(statuses),
+        "report": report,
+        "cache": engine.cache.stats(),
+        "queue_depth_max": report["queue_depth_max"],
+    }
+
+
+def _print_summary(summary: dict) -> None:
+    report = summary["report"]
+    rows = []
+    for name, stats in sorted(report["per_class"].items()):
+        rows.append(
+            {
+                "class": name,
+                "completed": stats["completed"],
+                "rejected": stats["rejected"],
+                "timeouts": stats["timeouts"],
+                "cache hits": stats["cache_hits"],
+                "p50 (ms)": 1e3 * (stats["p50_s"] or 0.0),
+                "p95 (ms)": 1e3 * (stats["p95_s"] or 0.0),
+                "p99 (ms)": 1e3 * (stats["p99_s"] or 0.0),
+            }
+        )
+    print(
+        render_table(
+            rows,
+            ["class", "completed", "rejected", "timeouts", "cache hits",
+             "p50 (ms)", "p95 (ms)", "p99 (ms)"],
+        )
+    )
+    batches = report["batch_sizes"]
+    cache = summary["cache"]
+    print(
+        f"\nthroughput: {report['throughput_rps']:.1f} req/s over "
+        f"{summary['elapsed_s']:.2f}s   max in-flight: "
+        f"{summary['queue_depth_max']}"
+    )
+    print(
+        f"batches: {batches['batches']} "
+        f"(mean size {batches['mean'] if batches['batches'] else 0:.2f}, "
+        f"max {batches['max']})   cache: {cache['hits']} hits / "
+        f"{cache['misses']} misses ({100 * cache['hit_rate']:.1f}%), "
+        f"{cache['evictions']} evictions"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.loadgen",
+        description="Load-test the repro.service engine and emit BENCH_service.json",
+    )
+    parser.add_argument("--duration", type=float, default=5.0, metavar="S")
+    parser.add_argument("--mode", choices=("closed", "open"), default="closed")
+    parser.add_argument("--clients", type=int, default=64,
+                        help="closed-loop client count")
+    parser.add_argument("--rate", type=float, default=300.0,
+                        help="open-loop arrival rate (req/s)")
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="fraction of the paper's map sizes")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="forked worker processes (0 = threads)")
+    parser.add_argument("--knn-share", type=float, default=0.1)
+    parser.add_argument("--join-share", type=float, default=0.0)
+    parser.add_argument("--hot-fraction", type=float, default=0.25)
+    parser.add_argument("--timeout", type=float, default=5.0)
+    parser.add_argument("--max-inflight", type=int, default=128)
+    parser.add_argument("--batch-window-ms", type=float, default=2.0)
+    parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument("--no-batching", action="store_true")
+    parser.add_argument("--cache-capacity", type=int, default=1024,
+                        help="0 disables the result cache")
+    parser.add_argument("--cache-ttl", type=float, default=60.0)
+    parser.add_argument(
+        "--compare-batching",
+        action="store_true",
+        help="also run the same workload with batching off (cache disabled "
+        "in both runs) and report the throughput gain",
+    )
+    args = parser.parse_args(argv)
+
+    def engine_config(batching: bool, cache_capacity: int) -> EngineConfig:
+        return EngineConfig(
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            default_timeout_s=args.timeout,
+            batching=batching,
+            batch_window_s=args.batch_window_ms / 1e3,
+            max_batch=args.max_batch,
+            cache_capacity=cache_capacity,
+            cache_ttl_s=args.cache_ttl,
+        )
+
+    print(
+        f"building workload (scale={args.scale}, seed={args.seed}) ...",
+        flush=True,
+    )
+    trees, region = build_trees(args.scale, args.seed)
+    factory = RequestFactory(
+        region,
+        args.seed,
+        knn_share=args.knn_share,
+        join_share=args.join_share,
+        hot_fraction=args.hot_fraction,
+    )
+
+    def run(batching: bool, cache_capacity: int, duration: float) -> dict:
+        return asyncio.run(
+            run_load(
+                trees,
+                region,
+                duration_s=duration,
+                mode=args.mode,
+                clients=args.clients,
+                rate=args.rate,
+                seed=args.seed,
+                factory=factory,
+                config=engine_config(batching, cache_capacity),
+            )
+        )
+
+    wall_start = time.perf_counter()
+    print(
+        heading(
+            f"loadgen {args.mode} loop — {args.duration}s, "
+            f"{'batching' if not args.no_batching else 'no batching'}, "
+            f"workers={args.workers}"
+        )
+    )
+    summary = run(not args.no_batching, args.cache_capacity, args.duration)
+    _print_summary(summary)
+
+    comparison = None
+    if args.compare_batching:
+        # Cache off in both arms so the gain isolates the batching effect.
+        half = max(1.0, args.duration / 2)
+        print(heading("batching comparison (cache off)"))
+        unbatched = run(False, 0, half)
+        batched = run(True, 0, half)
+        gain = (
+            batched["report"]["throughput_rps"]
+            / unbatched["report"]["throughput_rps"]
+            if unbatched["report"]["throughput_rps"]
+            else float("nan")
+        )
+        comparison = {
+            "throughput_rps_unbatched": unbatched["report"]["throughput_rps"],
+            "throughput_rps_batched": batched["report"]["throughput_rps"],
+            "gain": gain,
+            "duration_s": half,
+        }
+        print(
+            f"batch-size-1: {comparison['throughput_rps_unbatched']:.1f} req/s"
+            f"   micro-batched: {comparison['throughput_rps_batched']:.1f} "
+            f"req/s   gain: {gain:.2f}x"
+        )
+
+    latency = summary["report"]["latency"]
+    payload = {
+        "bench": "service",
+        "config": {
+            "mode": args.mode,
+            "duration_s": args.duration,
+            "clients": args.clients,
+            "rate": args.rate,
+            "seed": args.seed,
+            "workers": args.workers,
+            "batching": not args.no_batching,
+            "batch_window_ms": args.batch_window_ms,
+            "max_batch": args.max_batch,
+            "max_inflight": args.max_inflight,
+            "timeout_s": args.timeout,
+            "cache_capacity": args.cache_capacity,
+            "cache_ttl_s": args.cache_ttl,
+            "knn_share": args.knn_share,
+            "join_share": args.join_share,
+            "hot_fraction": args.hot_fraction,
+        },
+        "scale": args.scale,
+        "wall_time_s": time.perf_counter() - wall_start,
+        "latency_p50_s": latency["p50_s"],
+        "latency_p95_s": latency["p95_s"],
+        "latency_p99_s": latency["p99_s"],
+        "throughput_rps": summary["report"]["throughput_rps"],
+        "run": summary,
+        "batching_comparison": comparison,
+    }
+    path = report_json("service", payload)
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,194 @@
+"""Execution backend of the serving engine: forked workers or threads.
+
+The process mode reuses the ``fork``-inherits-trees trick of
+:mod:`repro.join.mp`: the tree registry is parked in a module global
+immediately before the pool forks, so every worker process inherits the
+in-memory R*-trees through copy-on-write — the process-level analogue of
+the paper's shared virtual memory.  Only primitive arguments (tree names,
+rect tuples, coordinates) travel to the workers and only oid tuples travel
+back; no tree is ever pickled.
+
+On platforms without ``fork`` (or with ``processes=0``) the pool degrades
+to a thread executor over the very same execution functions — correct,
+GIL-bound, and sufficient for tests and small deployments.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from typing import Mapping, Optional, Sequence, Tuple
+
+from ..geometry.rect import Rect
+from ..join.sequential import sequential_join
+from ..query.batch import multi_window_query
+from ..rtree.query import nearest_neighbors, window_query
+
+__all__ = ["WorkerPool", "fork_available"]
+
+#: Set by the parent immediately before forking; inherited by workers.
+#: Reset to ``None`` as soon as the pool exists so the parent side does
+#: not carry a second strong reference to every tree.
+_WORK_TREES: Optional[Mapping[str, object]] = None
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# -- execution functions (run inside a worker process or thread) --------------
+def _windows_on(trees, name: str, rects: Sequence[tuple]) -> list[tuple]:
+    """One shared traversal answering a batch of window rects."""
+    tree = trees[name]
+    windows = [Rect(*r) for r in rects]
+    answers = multi_window_query(tree, windows)
+    return [tuple(sorted(e.oid for e in entries)) for entries in answers]
+
+
+def _knn_on(trees, name: str, x: float, y: float, k: int) -> tuple:
+    tree = trees[name]
+    found = nearest_neighbors(tree, x, y, k=k) if tree.size else []
+    return tuple((float(d), e.oid) for d, e in found)
+
+
+def _join_on(
+    trees, name_r: str, name_s: str, window: Optional[tuple]
+) -> tuple:
+    tree_r, tree_s = trees[name_r], trees[name_s]
+    pairs = sequential_join(tree_r, tree_s).pairs
+    if window is not None:
+        rect = Rect(*window)
+        keep_r = {e.oid for e in window_query(tree_r, rect)}
+        keep_s = {e.oid for e in window_query(tree_s, rect)}
+        pairs = [(r, s) for r, s in pairs if r in keep_r and s in keep_s]
+    return tuple(sorted(pairs))
+
+
+# Fork-side wrappers: resolve the registry inherited at fork time.
+def _fork_windows(name, rects):
+    return _windows_on(_WORK_TREES, name, rects)
+
+
+def _fork_knn(name, x, y, k):
+    return _knn_on(_WORK_TREES, name, x, y, k)
+
+
+def _fork_join(name_r, name_s, window):
+    return _join_on(_WORK_TREES, name_r, name_s, window)
+
+
+_FORK_FNS = {"windows": _fork_windows, "knn": _fork_knn, "join": _fork_join}
+_INLINE_FNS = {"windows": _windows_on, "knn": _knn_on, "join": _join_on}
+
+
+class WorkerPool:
+    """Executes query work for the engine, off the event loop.
+
+    ``processes > 0`` asks for that many forked workers; 0 (or a platform
+    without ``fork``, with a warning) selects the thread fallback.
+    """
+
+    def __init__(self, trees: Mapping[str, object], processes: int = 0):
+        if processes < 0:
+            raise ValueError("processes must be >= 0")
+        self.trees = dict(trees)
+        self.requested_processes = processes
+        self._pool = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self.forked = False
+
+    # -- life cycle -----------------------------------------------------------
+    def start(self) -> None:
+        global _WORK_TREES
+        processes = self.requested_processes
+        if processes > 0 and not fork_available():
+            warnings.warn(
+                "the 'fork' start method is unavailable on this platform; "
+                "the service worker pool falls back to threads",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            processes = 0
+        if processes > 0:
+            _WORK_TREES = self.trees
+            try:
+                context = multiprocessing.get_context("fork")
+                self._pool = context.Pool(processes)
+            finally:
+                # Workers inherited the registry at fork; drop the parent's
+                # extra reference so the engine's copy is the only one.
+                _WORK_TREES = None
+            self.forked = True
+        else:
+            threads = max(2, min(8, os.cpu_count() or 2))
+            self._executor = ThreadPoolExecutor(
+                max_workers=threads, thread_name_prefix="repro-service"
+            )
+
+    async def close(self) -> None:
+        """Drain and release the backend (blocking joins run off-loop)."""
+        loop = asyncio.get_running_loop()
+        if self._pool is not None:
+            pool = self._pool
+            self._pool = None
+            pool.close()
+            await loop.run_in_executor(None, pool.join)
+        if self._executor is not None:
+            executor = self._executor
+            self._executor = None
+            await loop.run_in_executor(None, partial(executor.shutdown, True))
+
+    # -- submission -----------------------------------------------------------
+    async def run(self, kind: str, *args):
+        """Run one execution function; awaitable from the event loop."""
+        loop = asyncio.get_running_loop()
+        if self._pool is not None:
+            future: asyncio.Future = loop.create_future()
+
+            def _resolve(value, fut=future):
+                loop.call_soon_threadsafe(_set_result, fut, value)
+
+            def _fail(exc, fut=future):
+                loop.call_soon_threadsafe(_set_exception, fut, exc)
+
+            self._pool.apply_async(
+                _FORK_FNS[kind], args, callback=_resolve, error_callback=_fail
+            )
+            return await future
+        if self._executor is None:
+            raise RuntimeError("worker pool is not started")
+        return await loop.run_in_executor(
+            self._executor, partial(_INLINE_FNS[kind], self.trees, *args)
+        )
+
+    # -- convenience ----------------------------------------------------------
+    async def windows(self, name: str, rects: Sequence[tuple]) -> list[tuple]:
+        return await self.run("windows", name, list(rects))
+
+    async def knn(self, name: str, x: float, y: float, k: int) -> tuple:
+        return await self.run("knn", name, x, y, k)
+
+    async def join(
+        self, name_r: str, name_s: str, window: Optional[tuple]
+    ) -> tuple:
+        return await self.run("join", name_r, name_s, window)
+
+    def __repr__(self) -> str:
+        mode = (
+            f"fork:{self.requested_processes}" if self.forked else "threads"
+        )
+        return f"<WorkerPool {mode} trees={sorted(self.trees)}>"
+
+
+def _set_result(fut: asyncio.Future, value) -> None:
+    if not fut.done():
+        fut.set_result(value)
+
+
+def _set_exception(fut: asyncio.Future, exc) -> None:
+    if not fut.done():
+        fut.set_exception(exc)

@@ -20,11 +20,13 @@ from .checkers import (
     DiskAccountingChecker,
     InvariantChecker,
     InvariantViolation,
+    ServiceAccountingChecker,
     StealSoundnessChecker,
     TaskConservationChecker,
     Verdict,
     default_checkers,
     run_checkers,
+    service_checkers,
 )
 from .events import EventKind, TraceEvent
 from .handle import TraceHandle
@@ -52,7 +54,9 @@ __all__ = [
     "BufferCoherenceChecker",
     "DiskAccountingChecker",
     "ClockMonotonicityChecker",
+    "ServiceAccountingChecker",
     "default_checkers",
+    "service_checkers",
     "run_checkers",
     "render_timeline",
     "steal_timeline",

@@ -41,7 +41,9 @@ __all__ = [
     "BufferCoherenceChecker",
     "DiskAccountingChecker",
     "ClockMonotonicityChecker",
+    "ServiceAccountingChecker",
     "default_checkers",
+    "service_checkers",
     "run_checkers",
 ]
 
@@ -479,6 +481,142 @@ class ClockMonotonicityChecker(InvariantChecker):
         return {"processors_seen": len(self._per_proc)}
 
 
+class ServiceAccountingChecker(InvariantChecker):
+    """Request and cache accounting of the serving engine (repro.service).
+
+    Over a service trace (the ``SVC_*`` event kinds) two ledgers must
+    balance:
+
+    * **requests** — every submitted request is either admitted or
+      rejected; every admitted request reaches exactly one terminal state
+      (completed, timeout, cancelled, error); nothing is still in flight
+      when the engine stops.
+    * **cache** — every lookup is a hit or a miss (``hits + misses ==
+      lookups``); inserts only follow misses; evictions and expirations
+      never exceed inserts; and the number of admitted cacheable requests
+      matches the number of lookups, up to requests that timed out or were
+      cancelled before their (synchronous) lookup ran.
+    """
+
+    name = "service_accounting"
+
+    _TERMINAL = {
+        EventKind.SVC_REQUEST_COMPLETED,
+        EventKind.SVC_REQUEST_TIMEOUT,
+        EventKind.SVC_REQUEST_CANCELLED,
+        EventKind.SVC_REQUEST_ERROR,
+    }
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.submitted = 0
+        self.admitted = 0
+        self.admitted_cacheable = 0
+        self.rejected = 0
+        self.completed = 0
+        self.timeouts = 0
+        self.cancelled = 0
+        self.errors = 0
+        self.hits = 0
+        self.misses = 0
+        self.inserts = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.stopped = False
+
+    # -- stream ---------------------------------------------------------------
+    def observe(self, event: TraceEvent) -> None:
+        kind = event.kind
+        if kind == EventKind.SVC_REQUEST_SUBMITTED:
+            self.submitted += 1
+        elif kind == EventKind.SVC_REQUEST_ADMITTED:
+            self.admitted += 1
+            if event.data.get("cache"):
+                self.admitted_cacheable += 1
+        elif kind == EventKind.SVC_REQUEST_REJECTED:
+            self.rejected += 1
+        elif kind == EventKind.SVC_REQUEST_COMPLETED:
+            self.completed += 1
+        elif kind == EventKind.SVC_REQUEST_TIMEOUT:
+            self.timeouts += 1
+        elif kind == EventKind.SVC_REQUEST_CANCELLED:
+            self.cancelled += 1
+        elif kind == EventKind.SVC_REQUEST_ERROR:
+            self.errors += 1
+        elif kind == EventKind.SVC_CACHE_HIT:
+            self.hits += 1
+        elif kind == EventKind.SVC_CACHE_MISS:
+            self.misses += 1
+        elif kind == EventKind.SVC_CACHE_INSERT:
+            self.inserts += 1
+            if self.inserts > self.misses:
+                self._violate(
+                    f"cache insert #{self.inserts} without a preceding miss "
+                    f"(misses so far: {self.misses})"
+                )
+        elif kind == EventKind.SVC_CACHE_EVICT:
+            self.evictions += 1
+        elif kind == EventKind.SVC_CACHE_EXPIRE:
+            self.expirations += 1
+        elif kind == EventKind.SVC_BATCH_EXECUTED:
+            self.batches += 1
+            size = int(event.data.get("size", 0))
+            self.batched_requests += size
+            if size < 1:
+                self._violate(f"batch executed with size {size} < 1")
+        elif kind == EventKind.SVC_ENGINE_STOP:
+            self.stopped = True
+
+    # -- final reconciliation -------------------------------------------------
+    def at_end(self) -> None:
+        if self.submitted != self.admitted + self.rejected:
+            self._violate(
+                f"submitted ({self.submitted}) != admitted ({self.admitted}) "
+                f"+ rejected ({self.rejected})"
+            )
+        terminal = self.completed + self.timeouts + self.cancelled + self.errors
+        if self.stopped and terminal != self.admitted:
+            self._violate(
+                f"admitted ({self.admitted}) != terminal outcomes ({terminal}) "
+                "after engine stop — requests lost or double-counted"
+            )
+        if self.evictions + self.expirations > self.inserts:
+            self._violate(
+                f"evictions ({self.evictions}) + expirations "
+                f"({self.expirations}) exceed inserts ({self.inserts})"
+            )
+        lookups = self.hits + self.misses
+        missing = self.admitted_cacheable - lookups
+        # A request that timed out / was cancelled before its first
+        # (synchronous) step never consulted the cache; anything else must.
+        if missing < 0 or missing > self.timeouts + self.cancelled:
+            self._violate(
+                f"cache lookups ({lookups}) do not reconcile with admitted "
+                f"cacheable requests ({self.admitted_cacheable}); "
+                f"discrepancy {missing} exceeds timeouts ({self.timeouts}) "
+                f"+ cancellations ({self.cancelled})"
+            )
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "timeouts": self.timeouts,
+            "cancelled": self.cancelled,
+            "errors": self.errors,
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_inserts": self.inserts,
+            "cache_evictions": self.evictions,
+            "cache_expirations": self.expirations,
+            "batches": self.batches,
+        }
+
+
 def default_checkers() -> list[InvariantChecker]:
     """One fresh instance of every standard checker."""
     return [
@@ -486,6 +624,14 @@ def default_checkers() -> list[InvariantChecker]:
         StealSoundnessChecker(),
         BufferCoherenceChecker(),
         DiskAccountingChecker(),
+        ClockMonotonicityChecker(),
+    ]
+
+
+def service_checkers() -> list[InvariantChecker]:
+    """Fresh checkers for a serving-engine (wall-clock) event stream."""
+    return [
+        ServiceAccountingChecker(),
         ClockMonotonicityChecker(),
     ]
 

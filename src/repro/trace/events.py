@@ -66,6 +66,23 @@ class EventKind(str, enum.Enum):
     PROC_SPAWNED = "proc_spawned"
     PROC_FINISHED = "proc_finished"
 
+    # serving engine (repro.service) — wall-clock events, proc is always -1
+    SVC_ENGINE_START = "svc_engine_start"
+    SVC_ENGINE_STOP = "svc_engine_stop"
+    SVC_REQUEST_SUBMITTED = "svc_request_submitted"
+    SVC_REQUEST_ADMITTED = "svc_request_admitted"
+    SVC_REQUEST_REJECTED = "svc_request_rejected"
+    SVC_REQUEST_COMPLETED = "svc_request_completed"
+    SVC_REQUEST_TIMEOUT = "svc_request_timeout"
+    SVC_REQUEST_CANCELLED = "svc_request_cancelled"
+    SVC_REQUEST_ERROR = "svc_request_error"
+    SVC_BATCH_EXECUTED = "svc_batch_executed"
+    SVC_CACHE_HIT = "svc_cache_hit"
+    SVC_CACHE_MISS = "svc_cache_miss"
+    SVC_CACHE_INSERT = "svc_cache_insert"
+    SVC_CACHE_EVICT = "svc_cache_evict"
+    SVC_CACHE_EXPIRE = "svc_cache_expire"
+
 
 @dataclass(frozen=True, slots=True)
 class TraceEvent:

@@ -1,9 +1,12 @@
 """Tests for the real multiprocessing filter-step backend."""
 
+import warnings
+
 import pytest
 
 from repro.datagen import build_tree, paper_maps
 from repro.join import multiprocessing_join, sequential_join
+from repro.join import mp as mp_module
 from repro.join.mp import join_subtrees
 from repro.join.parallel import prepare_trees
 from repro.rtree import RStarTree
@@ -53,6 +56,36 @@ class TestMultiprocessingJoin:
         tree_r, tree_s = trees
         pairs = multiprocessing_join(tree_r, tree_s)
         assert set(pairs) == sequential_join(tree_r, tree_s).pair_set()
+
+
+class TestForkGuard:
+    def test_work_global_reset_after_pool_run(self, trees):
+        """The parent must not keep pinning both trees via _WORK after
+        the pool has finished (regression: fork-inherited state leak)."""
+        tree_r, tree_s = trees
+        multiprocessing_join(tree_r, tree_s, processes=2)
+        assert mp_module._WORK is None
+
+    def test_spawn_only_platform_warns_and_falls_back(self, trees, monkeypatch):
+        """Without fork (spawn-only platforms) the join must warn and run
+        the serial path — same answers, no pool, _WORK untouched."""
+        tree_r, tree_s = trees
+        monkeypatch.setattr(
+            mp_module.multiprocessing,
+            "get_all_start_methods",
+            lambda: ["spawn"],
+        )
+        with pytest.warns(RuntimeWarning, match="fork"):
+            pairs = multiprocessing_join(tree_r, tree_s, processes=4)
+        assert set(pairs) == sequential_join(tree_r, tree_s).pair_set()
+        assert mp_module._WORK is None
+
+    def test_single_process_does_not_warn(self, trees):
+        tree_r, tree_s = trees
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            pairs = multiprocessing_join(tree_r, tree_s, processes=1)
+        assert len(pairs) > 0
 
 
 class TestMultiprocessingRefinement:

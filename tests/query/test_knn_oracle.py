@@ -1,0 +1,79 @@
+"""Property test: the parallel kNN shared pruning bound never loses a
+neighbour — results match a brute-force oracle on randomized trees/k,
+including k larger than the dataset (satellite of the serving PR)."""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect
+from repro.query import ParallelQueryConfig, parallel_knn
+from repro.rtree import str_bulk_load
+
+coords = st.floats(
+    min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def rect_items(draw, max_items=120):
+    count = draw(st.integers(min_value=1, max_value=max_items))
+    items = []
+    for oid in range(count):
+        x = draw(coords)
+        y = draw(coords)
+        w = draw(st.floats(min_value=0.0, max_value=5.0))
+        h = draw(st.floats(min_value=0.0, max_value=5.0))
+        items.append((oid, Rect(x, y, x + w, y + h)))
+    return items
+
+
+def min_distance(rect, x, y):
+    dx = max(rect.xl - x, x - rect.xu, 0.0)
+    dy = max(rect.yl - y, y - rect.yu, 0.0)
+    return (dx * dx + dy * dy) ** 0.5
+
+
+class TestParallelKnnAgainstBruteForce:
+    @given(
+        items=rect_items(),
+        k=st.integers(min_value=1, max_value=200),
+        x=coords,
+        y=coords,
+        processors=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_oracle(self, items, k, x, y, processors):
+        tree = str_bulk_load(items, dir_capacity=4, data_capacity=4)
+        result = parallel_knn(
+            tree, x, y, k,
+            ParallelQueryConfig(
+                processors=processors, disks=processors,
+                total_buffer_pages=8 * processors,
+            ),
+        )
+        got = sorted(min_distance(e, x, y) for e in result.entries)
+        want = heapq.nsmallest(
+            k, (min_distance(r, x, y) for _, r in items)
+        )
+        # k larger than the dataset returns everything, exactly once.
+        assert len(result.entries) == min(k, len(items))
+        oids = [e.oid for e in result.entries]
+        assert len(oids) == len(set(oids))
+        assert len(got) == len(want)
+        for g, w in zip(got, want):
+            assert abs(g - w) < 1e-9
+
+    @given(items=rect_items(max_items=20), processors=st.integers(1, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_k_equals_size_returns_all(self, items, processors):
+        tree = str_bulk_load(items, dir_capacity=4, data_capacity=4)
+        result = parallel_knn(
+            tree, 50.0, 50.0, len(items),
+            ParallelQueryConfig(
+                processors=processors, disks=processors,
+                total_buffer_pages=8 * processors,
+            ),
+        )
+        assert {e.oid for e in result.entries} == {oid for oid, _ in items}
