@@ -1,0 +1,192 @@
+"""The fault injector: turns a :class:`~repro.faults.plan.FaultPlan`
+into concrete, traced fault decisions at each seam.
+
+Decisions are drawn **in the parent / control process**, one per
+opportunity, from per-site seeded streams — the injector therefore knows
+exactly which calls it sabotaged and emits one ``FLT_INJECT_*`` event per
+injection, keyed by a monotonically increasing id.  That parent-side
+ledger is what lets the
+:class:`~repro.trace.checkers.ResilienceAccountingChecker` prove that
+every injected fault was retried to success, repaired, or surfaced as an
+explicit error: a fault that a child process swallowed silently would
+leave its id unreconciled.
+
+Worker faults travel to the executing worker as a small picklable
+:class:`FaultDirective`; :func:`apply_directive` executes it inside the
+worker (``os._exit`` for a hard crash in a forked process, a raised
+:class:`InjectedCrash` in the thread fallback, ``time.sleep`` for hangs
+and slow I/O).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..trace import NULL_TRACER, EventKind, Tracer
+from .plan import FaultPlan
+
+__all__ = [
+    "FaultDirective",
+    "FaultInjector",
+    "InjectedCrash",
+    "apply_directive",
+]
+
+#: Exit status of a worker killed by an injected crash (recognisable in
+#: ``ps``/waitpid diagnostics; value is arbitrary but distinctive).
+CRASH_EXIT_CODE = 86
+
+
+class InjectedCrash(RuntimeError):
+    """A synthetic worker crash, raised where a process cannot die.
+
+    The thread fallback of the worker pool cannot ``os._exit`` without
+    taking the whole engine down, so an injected crash surfaces as this
+    exception — the caller-visible effect (the call fails abruptly and
+    must be retried) is the same.
+    """
+
+
+@dataclass(frozen=True)
+class FaultDirective:
+    """One worker call's fault instruction (picklable, parent-decided)."""
+
+    fault: str  # "crash" | "hang" | "slow"
+    sleep_s: float = 0.0
+
+
+def apply_directive(
+    directive: Optional[FaultDirective], *, hard_crash: bool
+) -> None:
+    """Execute *directive* inside the worker before the real work.
+
+    ``hard_crash`` selects ``os._exit`` (forked process) over raising
+    :class:`InjectedCrash` (thread fallback).
+    """
+    if directive is None:
+        return
+    if directive.fault == "crash":
+        if hard_crash:
+            import os
+
+            os._exit(CRASH_EXIT_CODE)
+        raise InjectedCrash("injected worker crash")
+    if directive.fault in ("hang", "slow"):
+        import time
+
+        time.sleep(directive.sleep_s)
+
+
+class FaultInjector:
+    """Draws fault decisions from a plan and emits the injection ledger.
+
+    One injector instance belongs to one run (one engine, one simulated
+    join, one ``multiprocessing_join`` call); its per-site RNG streams
+    make the decision sequence a pure function of ``plan.seed`` and the
+    order of opportunities.
+    """
+
+    def __init__(self, plan: FaultPlan, tracer: Tracer = NULL_TRACER):
+        self.plan = plan
+        self.tracer = tracer
+        self._worker_rng = plan.rng_for("worker")
+        self._io_rng = plan.rng_for("io")
+        self._page_rng = plan.rng_for("page")
+        self._next_call = 0
+        # injection counters, by fault class
+        self.crashes = 0
+        self.hangs = 0
+        self.slow_ios = 0
+        self.corruptions = 0
+
+    # -- worker-call seam ------------------------------------------------------
+    def next_call_id(self) -> int:
+        """A fresh id for one worker call (faulted or not)."""
+        call_id = self._next_call
+        self._next_call += 1
+        return call_id
+
+    def worker_directive(self, call_id: int) -> Optional[FaultDirective]:
+        """Decide the fate of worker call *call_id* (None = healthy).
+
+        At most one fault per call; crash dominates hang dominates slow,
+        each consuming an independent roll so the marginal probabilities
+        match the plan.
+        """
+        plan = self.plan
+        rng = self._worker_rng
+        crash = rng.random() < plan.worker_crash_p
+        hang = rng.random() < plan.worker_hang_p
+        slow = rng.random() < plan.slow_io_p
+        if crash:
+            self.crashes += 1
+            if self.tracer.enabled:
+                self.tracer.emit(EventKind.FLT_INJECT_CRASH, call=call_id)
+            return FaultDirective("crash")
+        if hang:
+            self.hangs += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.FLT_INJECT_HANG, call=call_id, sleep_s=plan.hang_s
+                )
+            return FaultDirective("hang", sleep_s=plan.hang_s)
+        if slow:
+            self.slow_ios += 1
+            sleep_s = plan.slow_io_base_s * (plan.slow_io_factor - 1.0)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.FLT_INJECT_SLOW_IO, call=call_id, sleep_s=sleep_s
+                )
+            return FaultDirective("slow", sleep_s=sleep_s)
+        return None
+
+    # -- disk seam -------------------------------------------------------------
+    def io_multiplier(self, page_id: int, proc: int = -1) -> float:
+        """Service-time stretch for one simulated disk access (1.0 = none)."""
+        if self._io_rng.random() < self.plan.slow_io_p:
+            self.slow_ios += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.FLT_INJECT_SLOW_IO,
+                    proc=proc,
+                    page=page_id,
+                    factor=self.plan.slow_io_factor,
+                )
+            return self.plan.slow_io_factor
+        return 1.0
+
+    # -- page seam -------------------------------------------------------------
+    def corrupt_copy(self, page_id: int, payload: bytes, proc: int = -1
+                     ) -> bytes:
+        """Possibly flip one bit of a buffered page copy.
+
+        Returns the (possibly corrupted) payload; emits
+        ``FLT_INJECT_CORRUPT`` when it strikes.  The flipped bit position
+        is drawn from the same seeded stream, so the corruption itself is
+        reproducible.
+        """
+        if not payload or self._page_rng.random() >= self.plan.page_flip_p:
+            return payload
+        bit = self._page_rng.randrange(len(payload) * 8)
+        corrupted = bytearray(payload)
+        corrupted[bit // 8] ^= 1 << (bit % 8)
+        self.corruptions += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.FLT_INJECT_CORRUPT, proc=proc, page=page_id, bit=bit
+            )
+        return bytes(corrupted)
+
+    # -- reporting -------------------------------------------------------------
+    def counts(self) -> dict:
+        return {
+            "crashes": self.crashes,
+            "hangs": self.hangs,
+            "slow_ios": self.slow_ios,
+            "corruptions": self.corruptions,
+        }
+
+    def __repr__(self) -> str:
+        inner = " ".join(f"{k}={v}" for k, v in self.counts().items())
+        return f"<FaultInjector {self.plan!r} {inner}>"

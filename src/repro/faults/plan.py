@@ -1,0 +1,108 @@
+"""The fault plan: what can break, how often, and under which seed.
+
+A :class:`FaultPlan` is pure configuration — an immutable set of
+probabilities and magnitudes for every fault class the framework can
+inject:
+
+* **worker crash** — a forked worker process dies hard (``os._exit``)
+  while holding a call; the thread fallback raises
+  :class:`~repro.faults.injector.InjectedCrash` instead (threads cannot
+  be killed);
+* **worker hang**  — the worker sleeps through the caller's deadline
+  before answering;
+* **slow I/O**     — page/service times are stretched by a multiplier
+  (the simulated disk array) or an equivalent sleep (serving workers);
+* **page corruption** — a bit of a buffered page copy is flipped before
+  the copy is handed to the reader, exercising the checksum
+  verify-on-read and read-repair path.
+
+All randomness is derived from ``seed`` through stable per-site streams
+(:meth:`rng_for`), so one plan replayed over the same call sequence
+injects the identical faults — chaos tests are reproducible and the
+``BENCH_chaos.json`` methodology can name its exact seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+__all__ = ["FaultPlan", "NO_FAULTS"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Probabilities and magnitudes of every injectable fault.
+
+    All probabilities are per *opportunity*: per worker call for
+    crash/hang/slow, per buffered-copy read for corruption, per disk
+    access for the I/O multiplier.  A plan with every probability at 0
+    is inert (see :data:`NO_FAULTS`).
+    """
+
+    seed: int = 0
+    #: P(worker process dies hard during a call).
+    worker_crash_p: float = 0.0
+    #: P(worker sleeps ``hang_s`` before answering).
+    worker_hang_p: float = 0.0
+    hang_s: float = 1.0
+    #: P(one I/O is slowed) and the stretch factor applied when it is.
+    slow_io_p: float = 0.0
+    slow_io_factor: float = 4.0
+    #: Base duration a serving worker sleeps to emulate one slowed I/O
+    #: (the simulated disk array stretches real service times instead).
+    slow_io_base_s: float = 0.005
+    #: P(a buffered page copy has one bit flipped before it is read).
+    page_flip_p: float = 0.0
+
+    def __post_init__(self):
+        for name in (
+            "worker_crash_p", "worker_hang_p", "slow_io_p", "page_flip_p"
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.hang_s < 0 or self.slow_io_base_s < 0:
+            raise ValueError("fault durations must be >= 0")
+        if self.slow_io_factor < 1.0:
+            raise ValueError("slow_io_factor must be >= 1")
+
+    @property
+    def active(self) -> bool:
+        """Whether this plan can inject anything at all."""
+        return (
+            self.worker_crash_p > 0
+            or self.worker_hang_p > 0
+            or self.slow_io_p > 0
+            or self.page_flip_p > 0
+        )
+
+    def rng_for(self, site: str) -> random.Random:
+        """A private RNG for one injection site.
+
+        String seeds hash via SHA-512 inside :class:`random.Random`, so
+        the stream is stable across processes and interpreter runs —
+        unlike ``hash(str)``, which is salted.
+        """
+        return random.Random(f"faultplan:{self.seed}:{site}")
+
+    def reseeded(self, seed: int) -> "FaultPlan":
+        """The same plan under a different seed."""
+        return replace(self, seed=seed)
+
+    def __repr__(self) -> str:
+        knobs = []
+        if self.worker_crash_p:
+            knobs.append(f"crash={self.worker_crash_p}")
+        if self.worker_hang_p:
+            knobs.append(f"hang={self.worker_hang_p}x{self.hang_s}s")
+        if self.slow_io_p:
+            knobs.append(f"slow={self.slow_io_p}x{self.slow_io_factor}")
+        if self.page_flip_p:
+            knobs.append(f"flip={self.page_flip_p}")
+        inner = " ".join(knobs) if knobs else "inert"
+        return f"<FaultPlan seed={self.seed} {inner}>"
+
+
+#: The inert plan: nothing ever breaks.
+NO_FAULTS = FaultPlan()

@@ -57,6 +57,15 @@ def _run_task_range(bounds: tuple[int, int]) -> list[tuple[Hashable, Hashable]]:
     return pairs
 
 
+def _serial_join(tasks, geometry_r, geometry_s) -> list:
+    pairs: list[tuple[Hashable, Hashable]] = []
+    for task in tasks:
+        pairs.extend(join_subtrees(task.node_r, task.node_s))
+    if geometry_r is not None:
+        pairs = ExactRefinement(geometry_r, geometry_s).filter_answers(pairs)
+    return pairs
+
+
 def multiprocessing_join(
     tree_r: RStarTree,
     tree_s: RStarTree,
@@ -64,6 +73,7 @@ def multiprocessing_join(
     *,
     geometry_r=None,
     geometry_s=None,
+    timeout_s: Optional[float] = None,
 ) -> list[tuple[Hashable, Hashable]]:
     """Spatial join using *processes* OS processes.
 
@@ -75,10 +85,20 @@ def multiprocessing_join(
     distribution principle: the processor that finds a candidate refines
     it.  Falls back to a single process when ``processes`` is 1 or fork is
     unavailable.
+
+    ``timeout_s`` bounds the parallel phase: if the workers have not
+    delivered within the deadline (a worker hung, crashed, or the machine
+    is badly oversubscribed), the pool is terminated and the join is
+    recomputed on the **serial fallback path** in the parent, with a
+    :class:`RuntimeWarning` — slower, but the caller always gets the
+    answer instead of blocking forever.  ``None`` (the default) preserves
+    the old unbounded behaviour.
     """
     global _WORK
     if (geometry_r is None) != (geometry_s is None):
         raise ValueError("pass geometry for both relations or for neither")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError("timeout_s must be positive (or None)")
     if processes is None:
         processes = min(8, os.cpu_count() or 1)
     tasks = create_tasks(tree_r, tree_s, min_tasks=processes * 4)
@@ -94,12 +114,7 @@ def multiprocessing_join(
             stacklevel=2,
         )
     if processes <= 1 or not fork_supported:
-        pairs: list[tuple[Hashable, Hashable]] = []
-        for task in tasks:
-            pairs.extend(join_subtrees(task.node_r, task.node_s))
-        if geometry_r is not None:
-            pairs = ExactRefinement(geometry_r, geometry_s).filter_answers(pairs)
-        return pairs
+        return _serial_join(tasks, geometry_r, geometry_s)
 
     # Static range assignment over the plane-sweep-ordered task list.
     bounds: list[tuple[int, int]] = []
@@ -112,10 +127,29 @@ def multiprocessing_join(
         start += size
 
     _WORK = (tasks, geometry_r, geometry_s)
+    timed_out = False
     try:
         context = multiprocessing.get_context("fork")
+        # The with-block terminates the pool on exit — which is exactly
+        # the rescue needed when the deadline fires with workers stuck.
         with context.Pool(processes) as pool:
-            parts = pool.map(_run_task_range, bounds)
+            if timeout_s is None:
+                parts = pool.map(_run_task_range, bounds)
+            else:
+                try:
+                    parts = pool.map_async(_run_task_range, bounds).get(
+                        timeout_s
+                    )
+                except multiprocessing.TimeoutError:
+                    timed_out = True
     finally:
         _WORK = None
+    if timed_out:
+        warnings.warn(
+            f"multiprocessing_join did not finish within {timeout_s}s; "
+            f"workers terminated, recomputing on the serial fallback path",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _serial_join(tasks, geometry_r, geometry_s)
     return [pair for part in parts for pair in part]

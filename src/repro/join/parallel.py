@@ -29,6 +29,7 @@ from typing import Generator, Optional
 
 from ..buffer.global_buffer import GlobalDirectory
 from ..buffer.local import ProcessorBufferManager
+from ..faults import FaultInjector, FaultPlan
 from ..geometry.planesweep import restrict_to_window, sweep_pairs
 from ..rtree.pagestore import PageStore
 from ..rtree.rstar import RStarTree
@@ -95,6 +96,11 @@ class ParallelJoinConfig:
     #: Structured event tracing + invariant checking; ``None`` (the
     #: default) keeps the simulator on the null tracer — near-zero cost.
     trace: Optional[TraceConfig] = None
+    #: Seeded fault plan (slow disks, buffered-page bit flips); ``None``
+    #: keeps every seam on the zero-cost healthy path.  Worker crash and
+    #: hang probabilities are meaningless inside the simulation (there is
+    #: no OS process per simulated processor) and are ignored here.
+    faults: Optional[FaultPlan] = None
 
     def make_reassign_rng(self) -> random.Random:
         """The seeded RNG used for arbitrary victim selection.
@@ -163,11 +169,21 @@ class _JoinRun:
         tracer = self.tracer
         self.machine = Machine(self.env, config.machine)
         self.metrics = self.machine.metrics
+        self.injector = (
+            FaultInjector(config.faults, tracer=tracer)
+            if config.faults is not None and config.faults.active
+            else None
+        )
         self.disks = DiskArray(
             self.env, config.disks, config.disk_params, self.metrics,
-            tracer=tracer,
+            tracer=tracer, injector=self.injector,
         )
         self.store = page_store or prepare_trees(tree_r, tree_s)
+        self.integrity = None
+        if self.injector is not None and config.faults.page_flip_p > 0:
+            from ..storage.page import PageIntegrityStore
+
+            self.integrity = PageIntegrityStore(self.store, tracer=tracer)
         n = config.processors
         directory = (
             GlobalDirectory(self.machine, tracer=tracer)
@@ -185,6 +201,8 @@ class _JoinRun:
                 tree_heights=heights,
                 directory=directory,
                 tracer=tracer,
+                integrity=self.integrity,
+                injector=self.injector,
             )
             for p in range(n)
         ]

@@ -18,13 +18,27 @@ virtual memory of :mod:`repro.join.mp`), with
   sinks, timelines and checkers apply to serving runs;
 * a **load generator** — ``python -m repro.service.loadgen`` — with
   closed- and open-loop arrival models that prints a latency/throughput
-  report and emits ``BENCH_service.json``.
+  report and emits ``BENCH_service.json`` (``--chaos`` adds a seeded
+  fault-injection run and ``BENCH_chaos.json``);
+* a **resilience layer** (:mod:`repro.service.resilience`,
+  :mod:`repro.service.supervisor`): supervised worker calls with typed
+  :class:`WorkerError` outcomes, capped-backoff retries inside the
+  request's deadline budget, per-class circuit breakers with
+  serve-stale/shed degraded modes, and a supervisor that detects worker
+  crashes and re-forks a dead pool.
 """
 
 from .batcher import MicroBatcher
 from .cache import MISS, ResultCache
 from .engine import Engine, EngineConfig
 from .metrics import LatencyReservoir, ServiceMetrics, percentile
+from .resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
+    WorkerError,
+)
+from .supervisor import Supervisor
 from .model import (
     JoinRequest,
     KNNRequest,
@@ -56,4 +70,9 @@ __all__ = [
     "percentile",
     "WorkerPool",
     "fork_available",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "WorkerError",
+    "Supervisor",
 ]

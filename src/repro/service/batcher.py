@@ -27,7 +27,7 @@ __all__ = ["MicroBatcher", "PendingWindow"]
 class PendingWindow:
     """One window query waiting for its batch."""
 
-    __slots__ = ("request", "future", "use_cache", "enqueued_at")
+    __slots__ = ("request", "future", "use_cache", "enqueued_at", "deadline")
 
     def __init__(
         self,
@@ -35,11 +35,16 @@ class PendingWindow:
         future: asyncio.Future,
         use_cache: bool,
         enqueued_at: float,
+        deadline: Optional[float] = None,
     ):
         self.request = request
         self.future = future
         self.use_cache = use_cache
         self.enqueued_at = enqueued_at
+        #: Engine-clock instant the submitting request's budget runs out
+        #: (None = unbounded); the batch runs under its most patient
+        #: member's deadline.
+        self.deadline = deadline
 
 
 #: runner(tree_name, items) executes one batch and resolves the futures.

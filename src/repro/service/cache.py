@@ -31,6 +31,13 @@ class ResultCache:
     ``capacity`` bounds the entry count (0 disables caching entirely);
     ``ttl_s`` is the time-to-live of an entry in seconds (``None`` means
     entries never expire).  ``clock`` is injectable for tests.
+
+    ``keep_stale`` retains TTL-expired entries (until LRU capacity
+    evicts them) so a degraded mode can still serve them explicitly via
+    :meth:`get_stale` — the circuit-breaker's serve-stale-on-open path.
+    A stale serve is *never* a plain hit: :meth:`get` treats an expired
+    entry as a miss either way, and stale reads are counted and traced
+    separately (``stale_hits``, ``SVC_CACHE_STALE_HIT``).
     """
 
     def __init__(
@@ -38,6 +45,7 @@ class ResultCache:
         capacity: int = 1024,
         ttl_s: Optional[float] = None,
         *,
+        keep_stale: bool = False,
         clock: Callable[[], float] = time.monotonic,
         tracer=NULL_TRACER,
     ):
@@ -47,16 +55,17 @@ class ResultCache:
             raise ValueError("ttl_s must be positive (or None)")
         self.capacity = capacity
         self.ttl_s = ttl_s
+        self.keep_stale = keep_stale
         self._clock = clock
         self.tracer = tracer
-        self._entries: "OrderedDict[Hashable, tuple[object, Optional[float]]]" = (
-            OrderedDict()
-        )
+        #: key -> [value, expires_at, expiration_counted]
+        self._entries: "OrderedDict[Hashable, list]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.inserts = 0
         self.evictions = 0
         self.expirations = 0
+        self.stale_hits = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -70,12 +79,17 @@ class ResultCache:
         """
         entry = self._entries.get(key)
         if entry is not None:
-            value, expires_at = entry
+            value, expires_at, counted = entry
             if expires_at is not None and self._clock() >= expires_at:
-                del self._entries[key]
-                self.expirations += 1
-                if self.tracer.enabled:
-                    self.tracer.emit(EventKind.SVC_CACHE_EXPIRE, key=repr(key))
+                if not counted:
+                    self.expirations += 1
+                    entry[2] = True
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            EventKind.SVC_CACHE_EXPIRE, key=repr(key)
+                        )
+                if not self.keep_stale:
+                    del self._entries[key]
             else:
                 self._entries.move_to_end(key)
                 self.hits += 1
@@ -87,6 +101,22 @@ class ResultCache:
             self.tracer.emit(EventKind.SVC_CACHE_MISS, key=repr(key))
         return MISS
 
+    def get_stale(self, key: Hashable):
+        """The cached value for *key* even if TTL-expired, or :data:`MISS`.
+
+        The degraded read of the serve-stale-on-open-circuit path: it
+        never refreshes LRU position or TTL, counts as a ``stale_hit``
+        (not a hit) and emits ``SVC_CACHE_STALE_HIT`` so stale serves
+        stay visible in the metrics.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return MISS
+        self.stale_hits += 1
+        if self.tracer.enabled:
+            self.tracer.emit(EventKind.SVC_CACHE_STALE_HIT, key=repr(key))
+        return entry[0]
+
     def put(self, key: Hashable, value) -> None:
         """Insert (or refresh) *key*, evicting the LRU tail if over capacity."""
         if self.capacity == 0:
@@ -94,7 +124,7 @@ class ResultCache:
         expires_at = None if self.ttl_s is None else self._clock() + self.ttl_s
         if key in self._entries:
             self._entries.move_to_end(key)
-        self._entries[key] = (value, expires_at)
+        self._entries[key] = [value, expires_at, False]
         self.inserts += 1
         if self.tracer.enabled:
             self.tracer.emit(EventKind.SVC_CACHE_INSERT, key=repr(key))
@@ -125,6 +155,7 @@ class ResultCache:
             "inserts": self.inserts,
             "evictions": self.evictions,
             "expirations": self.expirations,
+            "stale_hits": self.stale_hits,
             "hit_rate": self.hit_rate,
         }
 

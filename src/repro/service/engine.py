@@ -20,6 +20,26 @@ tasks; the engine
    :class:`~repro.trace.checkers.ServiceAccountingChecker` work on
    serving runs exactly like on simulation runs.
 
+Around the execution backend sits the **resilience layer**:
+
+* every worker-pool call is supervised (typed :class:`WorkerError`
+  outcomes, per-attempt deadlines) and failed calls are **retried** with
+  capped exponential backoff — always inside the request's original
+  admission-timeout budget, never beyond it;
+* a per-request-class **circuit breaker** (closed → open → half-open)
+  cuts a failing class off; while open, cacheable requests degrade to
+  **stale cache serves** (flagged on the response and in the metrics)
+  and everything else is **shed** with an explicit 503-style
+  :data:`~repro.service.model.Status.SHED`;
+* a :class:`~repro.service.supervisor.Supervisor` polls worker liveness,
+  turns crashes/respawns into trace events, sweeps overdue calls and
+  re-forks the pool (workers re-inherit the tree registry) if it dies
+  entirely;
+* a seeded :class:`~repro.faults.plan.FaultPlan` can inject worker
+  crashes, hangs and slow I/O at the pool seam for chaos testing — the
+  ``FLT_*``/``SUP_*`` ledgers reconcile via the
+  :class:`~repro.trace.checkers.ResilienceAccountingChecker`.
+
 Shutdown is graceful: ``stop()`` stops admitting, drains every in-flight
 request (batches included), then releases the worker pool.
 """
@@ -27,10 +47,12 @@ request (batches included), then releases the worker pool.
 from __future__ import annotations
 
 import asyncio
+import random
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
+from ..faults import FaultInjector, FaultPlan
 from ..trace import EventKind, Tracer
 from .batcher import MicroBatcher, PendingWindow
 from .cache import MISS, ResultCache
@@ -45,6 +67,8 @@ from .model import (
     WindowRequest,
     canonical_rect,
 )
+from .resilience import CircuitBreaker, CircuitOpenError, RetryPolicy, WorkerError
+from .supervisor import Supervisor
 from .workers import WorkerPool
 
 __all__ = ["Engine", "EngineConfig"]
@@ -66,7 +90,21 @@ class EngineConfig:
     ``batching`` / ``batch_window_s`` / ``max_batch``
                          — micro-batcher switch, coalescing window, cap;
     ``cache_capacity`` / ``cache_ttl_s``
-                         — result cache size (0 disables) and TTL.
+                         — result cache size (0 disables) and TTL;
+    ``retry`` / ``attempt_timeout_s``
+                         — backoff policy for failed worker calls and the
+                           per-attempt execution deadline (always clipped
+                           to the request's remaining budget);
+    ``breaker_failure_threshold`` / ``breaker_reset_s``
+                         — consecutive failures that open a class's
+                           circuit, and how long it stays open;
+    ``serve_stale``      — degrade open-circuit cacheable requests to
+                           TTL-expired cache entries instead of shedding;
+    ``supervise`` / ``supervisor_interval_s``
+                         — worker liveness polling and deadline sweeps;
+    ``faults``           — seeded fault plan injected at the pool seam
+                           (None = healthy);
+    ``seed``             — seeds retry jitter (None = nondeterministic).
     """
 
     workers: int = 0
@@ -81,6 +119,15 @@ class EngineConfig:
     max_batch: int = 16
     cache_capacity: int = 1024
     cache_ttl_s: Optional[float] = 60.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    attempt_timeout_s: Optional[float] = 2.0
+    breaker_failure_threshold: int = 5
+    breaker_reset_s: float = 0.5
+    serve_stale: bool = True
+    supervise: bool = True
+    supervisor_interval_s: float = 0.2
+    faults: Optional[FaultPlan] = None
+    seed: Optional[int] = None
 
 
 class Engine:
@@ -106,14 +153,45 @@ class Engine:
         self.cache = ResultCache(
             self.config.cache_capacity,
             self.config.cache_ttl_s,
+            keep_stale=self.config.serve_stale,
             tracer=self.tracer,
         )
-        self.pool = WorkerPool(self.trees, self.config.workers)
+        self.injector = (
+            FaultInjector(self.config.faults, tracer=self.tracer)
+            if self.config.faults is not None and self.config.faults.active
+            else None
+        )
+        self.pool = WorkerPool(
+            self.trees,
+            self.config.workers,
+            injector=self.injector,
+            tracer=self.tracer,
+        )
+        self.supervisor = (
+            Supervisor(
+                self.pool,
+                interval_s=self.config.supervisor_interval_s,
+                tracer=self.tracer,
+            )
+            if self.config.supervise
+            else None
+        )
         self.batcher = MicroBatcher(
             self._run_window_group,
             window_s=self.config.batch_window_s,
             max_batch=self.config.max_batch,
         )
+        self._retry_rng = random.Random(self.config.seed)
+        self.breakers: dict[RequestClass, CircuitBreaker] = {
+            cls: CircuitBreaker(
+                cls.value,
+                failure_threshold=self.config.breaker_failure_threshold,
+                reset_timeout_s=self.config.breaker_reset_s,
+                clock=self._now,
+                tracer=self.tracer,
+            )
+            for cls in RequestClass
+        }
         self._running = False
         self._draining = False
         self._inflight = 0
@@ -133,6 +211,8 @@ class Engine:
         self._idle = asyncio.Event()
         self._idle.set()
         self.pool.start()
+        if self.supervisor is not None:
+            self.supervisor.start()
         if self.config.batching:
             self.batcher.start()
         self._running = True
@@ -143,6 +223,7 @@ class Engine:
             workers=self.config.workers,
             forked=int(self.pool.forked),
             batching=int(self.config.batching),
+            faulted=int(self.injector is not None),
         )
 
     async def stop(self) -> None:
@@ -153,6 +234,8 @@ class Engine:
         await self._idle.wait()
         if self.config.batching:
             await self.batcher.close()
+        if self.supervisor is not None:
+            await self.supervisor.stop()
         await self.pool.close()
         self._running = False
         self.tracer.emit(
@@ -201,9 +284,12 @@ class Engine:
         )
         if timeout is _UNSET:
             timeout = self.config.default_timeout_s
+        # The admission timeout is the request's whole fault budget:
+        # every retry backoff and execution attempt fits inside it.
+        deadline = None if timeout is None else t0 + timeout
         try:
             try:
-                work = self._process(request, use_cache, t0)
+                work = self._process(request, use_cache, t0, deadline)
                 if timeout is not None:
                     response = await asyncio.wait_for(work, timeout)
                 else:
@@ -229,11 +315,15 @@ class Engine:
                     latency_s=self._now() - t0,
                     detail=f"{type(exc).__name__}: {exc}",
                 )
+            if response.status is Status.SHED:
+                # _degraded already emitted SVC_REQUEST_SHED.
+                return response
             self._emit(
                 EventKind.SVC_REQUEST_COMPLETED,
                 cls,
                 latency_s=response.latency_s,
                 cached=int(response.cached),
+                stale=int(response.stale),
                 batch=response.batch_size,
             )
             return response
@@ -243,7 +333,10 @@ class Engine:
                 self._idle.set()
 
     # -- request processing ---------------------------------------------------
-    async def _process(self, request: Request, use_cache: bool, t0: float) -> Response:
+    async def _process(
+        self, request: Request, use_cache: bool, t0: float,
+        deadline: Optional[float],
+    ) -> Response:
         cls = request.cls
         key = request.cache_key() if use_cache else None
         if use_cache:
@@ -253,46 +346,54 @@ class Engine:
                     Status.OK, cls, value=value,
                     latency_s=self._now() - t0, cached=True,
                 )
-        if isinstance(request, WindowRequest):
-            self._require_tree(request.tree)
-            if self.config.batching:
-                future = asyncio.get_running_loop().create_future()
-                await self.batcher.put(
-                    PendingWindow(request, future, use_cache, self._now())
+        try:
+            if isinstance(request, WindowRequest):
+                self._require_tree(request.tree)
+                if self.config.batching:
+                    future = asyncio.get_running_loop().create_future()
+                    await self.batcher.put(
+                        PendingWindow(
+                            request, future, use_cache, self._now(),
+                            deadline=deadline,
+                        )
+                    )
+                    value, batch_size = await future
+                    return Response(
+                        Status.OK, cls, value=value,
+                        latency_s=self._now() - t0, batch_size=batch_size,
+                    )
+                values = await self._guarded(
+                    cls, "windows", request.tree,
+                    [canonical_rect(request.window)], deadline=deadline,
                 )
-                value, batch_size = await future
-                return Response(
-                    Status.OK, cls, value=value,
-                    latency_s=self._now() - t0, batch_size=batch_size,
+                value = values[0]
+                batch_size = 1
+            elif isinstance(request, KNNRequest):
+                self._require_tree(request.tree)
+                if request.k < 1:
+                    raise ValueError("k must be at least 1")
+                value = await self._guarded(
+                    cls, "knn", request.tree, float(request.x),
+                    float(request.y), int(request.k), deadline=deadline,
                 )
-            values = await self._guarded(
-                cls, "windows", request.tree, [canonical_rect(request.window)]
-            )
-            value = values[0]
-            batch_size = 1
-        elif isinstance(request, KNNRequest):
-            self._require_tree(request.tree)
-            if request.k < 1:
-                raise ValueError("k must be at least 1")
-            value = await self._guarded(
-                cls, "knn", request.tree, float(request.x), float(request.y),
-                int(request.k),
-            )
-            batch_size = 0
-        elif isinstance(request, JoinRequest):
-            self._require_tree(request.tree_r)
-            self._require_tree(request.tree_s)
-            window = (
-                canonical_rect(request.window)
-                if request.window is not None
-                else None
-            )
-            value = await self._guarded(
-                cls, "join", request.tree_r, request.tree_s, window
-            )
-            batch_size = 0
-        else:
-            raise TypeError(f"unknown request type {type(request).__name__}")
+                batch_size = 0
+            elif isinstance(request, JoinRequest):
+                self._require_tree(request.tree_r)
+                self._require_tree(request.tree_s)
+                window = (
+                    canonical_rect(request.window)
+                    if request.window is not None
+                    else None
+                )
+                value = await self._guarded(
+                    cls, "join", request.tree_r, request.tree_s, window,
+                    deadline=deadline,
+                )
+                batch_size = 0
+            else:
+                raise TypeError(f"unknown request type {type(request).__name__}")
+        except CircuitOpenError:
+            return self._degraded(cls, key, use_cache, t0)
         if use_cache:
             self.cache.put(key, value)
         return Response(
@@ -300,24 +401,101 @@ class Engine:
             latency_s=self._now() - t0, batch_size=batch_size,
         )
 
-    async def _guarded(self, cls: RequestClass, kind: str, *args):
-        """One worker-pool execution under the class concurrency limit."""
+    def _degraded(
+        self, cls: RequestClass, key, use_cache: bool, t0: float
+    ) -> Response:
+        """Open-circuit fallback: stale cache serve, else shed the load."""
+        if use_cache and self.config.serve_stale:
+            stale = self.cache.get_stale(key)
+            if stale is not MISS:
+                return Response(
+                    Status.OK, cls, value=stale,
+                    latency_s=self._now() - t0, cached=True, stale=True,
+                    detail="stale cache entry served while circuit open",
+                )
+        self._emit(EventKind.SVC_REQUEST_SHED, cls)
+        return Response(
+            Status.SHED, cls, latency_s=self._now() - t0,
+            detail=f"circuit open for class {cls.value}; request shed",
+        )
+
+    async def _guarded(
+        self, cls: RequestClass, kind: str, *args,
+        deadline: Optional[float] = None,
+    ):
+        """One worker-pool execution under the class concurrency limit,
+        with retries under the circuit breaker and the deadline budget."""
         self._waiting[cls] += 1
         try:
             await self._sems[cls].acquire()
         finally:
             self._waiting[cls] -= 1
         try:
-            return await self.pool.run(kind, *args)
+            return await self._execute_with_retry(cls, kind, args, deadline)
         finally:
             self._sems[cls].release()
+
+    async def _execute_with_retry(
+        self, cls: RequestClass, kind: str, args: tuple,
+        deadline: Optional[float],
+    ):
+        breaker = self.breakers[cls]
+        retry = self.config.retry
+        attempt = 0
+        while True:
+            if not breaker.allow():
+                raise CircuitOpenError(cls.value)
+            timeout_s = self.config.attempt_timeout_s
+            if deadline is not None:
+                remaining = deadline - self._now()
+                if remaining <= 0:
+                    raise WorkerError(
+                        f"deadline budget exhausted before attempt "
+                        f"{attempt + 1}",
+                        cause_type="deadline",
+                        kind=kind,
+                    )
+                timeout_s = (
+                    remaining if timeout_s is None
+                    else min(timeout_s, remaining)
+                )
+            try:
+                value = await self.pool.run(kind, *args, timeout_s=timeout_s)
+            except WorkerError as exc:
+                breaker.record_failure()
+                attempt += 1
+                budget = None if deadline is None else deadline - self._now()
+                delay = retry.next_delay(attempt, self._retry_rng, budget)
+                if delay is None:
+                    self._emit(
+                        EventKind.SUP_CALL_GIVEUP,
+                        cls,
+                        call=exc.call_id,
+                        attempts=attempt,
+                        error=exc.cause_type,
+                    )
+                    raise
+                payload = {"call": exc.call_id, "attempt": attempt,
+                           "delay_s": delay}
+                if budget is not None:
+                    payload["remaining_s"] = budget
+                self._emit(EventKind.SUP_CALL_RETRY, cls, **payload)
+                await asyncio.sleep(delay)
+                continue
+            breaker.record_success()
+            return value
 
     async def _run_window_group(self, tree_name: str, items: list) -> None:
         """Execute one micro-batch and settle every member's future."""
         rects = [canonical_rect(item.request.window) for item in items]
+        # The batch runs under the most patient member's deadline; each
+        # member's own submit-level timeout still enforces its budget.
+        deadlines = [item.deadline for item in items]
+        deadline = None if None in deadlines else max(deadlines)
         try:
             values = await self._guarded(
-                RequestClass.WINDOW, "windows", tree_name, rects
+                RequestClass.WINDOW, "windows", tree_name, rects,
+                deadline=deadline,
             )
         except Exception as exc:
             for item in items:
@@ -364,12 +542,28 @@ class Engine:
         return self._inflight
 
     def snapshot(self) -> dict:
-        """Metrics + cache counters, JSON-able."""
+        """Metrics + cache + resilience counters, JSON-able."""
         return {
             "metrics": self.metrics.report(),
             "cache": self.cache.stats(),
             "inflight": self._inflight,
             "running": self._running,
+            "breakers": {
+                cls.value: breaker.snapshot()
+                for cls, breaker in self.breakers.items()
+            },
+            "supervisor": (
+                self.supervisor.snapshot()
+                if self.supervisor is not None else None
+            ),
+            "pool": {
+                "restarts": self.pool.restarts,
+                "calls_failed": self.pool.calls_failed,
+                "calls_abandoned": self.pool.calls_abandoned,
+            },
+            "faults_injected": (
+                self.injector.counts() if self.injector is not None else None
+            ),
         }
 
     def __repr__(self) -> str:

@@ -18,6 +18,15 @@ and writes ``BENCH_service.json`` (via :func:`repro.bench.report_json`)
 with the p50/p95/p99 latencies, throughput, admission counters, cache
 counters and — with ``--compare-batching`` — the measured throughput gain
 of micro-batching over the batch-size-1 baseline.
+
+``--chaos`` turns the load test into a chaos run: the same workload is
+driven twice, once healthy and once under a seeded
+:class:`~repro.faults.plan.FaultPlan` (worker crashes, hangs, slow I/O),
+with the full ``SVC_*``/``FLT_*``/``SUP_*`` event stream collected and
+replayed through the service + resilience invariant checkers.  The run
+**fails** (exit code 1) if any request is lost — submitted but never
+given a terminal response — or any checker reports a violation; the
+healthy-vs-faulted comparison is written to ``BENCH_chaos.json``.
 """
 
 from __future__ import annotations
@@ -31,7 +40,9 @@ from typing import Optional
 
 from ..bench.render import heading, render_table, report_json
 from ..datagen import build_tree, paper_maps
+from ..faults import FaultPlan
 from ..geometry.rect import Rect
+from ..trace import ListSink, run_checkers, service_checkers
 from .engine import Engine, EngineConfig
 from .model import JoinRequest, KNNRequest, WindowRequest
 
@@ -108,10 +119,22 @@ async def run_load(
     factory: Optional[RequestFactory] = None,
     config: Optional[EngineConfig] = None,
     timeout_s: Optional[float] = None,
+    check_invariants: bool = False,
 ) -> dict:
-    """One load-test run; returns the JSON-able summary."""
+    """One load-test run; returns the JSON-able summary.
+
+    With ``check_invariants`` the whole event stream is collected and
+    replayed through :func:`repro.trace.service_checkers` (request/cache
+    accounting plus the resilience ledger); the verdicts land in the
+    summary under ``"verdicts"``.
+    """
     factory = factory or RequestFactory(region, seed)
-    engine = Engine(trees, config or EngineConfig())
+    sink = ListSink() if check_invariants else None
+    engine = Engine(
+        trees,
+        config or EngineConfig(),
+        sinks=() if sink is None else (sink,),
+    )
     statuses: Counter = Counter()
     submitted = 0
     await engine.start()
@@ -149,6 +172,19 @@ async def run_load(
     elapsed = time.perf_counter() - wall_start
     await engine.stop()
     report = engine.metrics.report(elapsed)
+    snapshot = engine.snapshot()
+    verdicts = None
+    if sink is not None:
+        verdicts = [
+            {
+                "checker": v.checker,
+                "ok": v.ok,
+                "violation_count": v.violation_count,
+                "violations": v.violations,
+                "stats": v.stats,
+            }
+            for v in run_checkers(sink.events, service_checkers())
+        ]
     return {
         "mode": mode,
         "duration_s": duration_s,
@@ -157,9 +193,19 @@ async def run_load(
         "offered_rate_rps": rate if mode == "open" else None,
         "submitted": submitted,
         "statuses": dict(statuses),
+        # every submit() returned a terminal Response; anything else is a
+        # lost request — the chaos run's headline invariant
+        "lost": submitted - sum(statuses.values()),
         "report": report,
         "cache": engine.cache.stats(),
         "queue_depth_max": report["queue_depth_max"],
+        "resilience": {
+            "breakers": snapshot["breakers"],
+            "supervisor": snapshot["supervisor"],
+            "pool": snapshot["pool"],
+            "faults_injected": snapshot["faults_injected"],
+        },
+        "verdicts": verdicts,
     }
 
 
@@ -235,9 +281,35 @@ def main(argv=None) -> int:
         help="also run the same workload with batching off (cache disabled "
         "in both runs) and report the throughput gain",
     )
+    chaos = parser.add_argument_group("chaos (fault injection)")
+    chaos.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run the workload healthy AND under a seeded fault plan, "
+        "verify the resilience invariants, write BENCH_chaos.json "
+        "(exit 1 on lost requests or checker violations)",
+    )
+    chaos.add_argument("--crash-p", type=float, default=0.05,
+                       help="per-worker-call crash probability")
+    chaos.add_argument("--hang-p", type=float, default=0.02,
+                       help="per-worker-call hang probability")
+    chaos.add_argument("--hang-s", type=float, default=1.0,
+                       help="injected hang duration (seconds)")
+    chaos.add_argument("--slow-p", type=float, default=0.10,
+                       help="per-call slow-I/O probability")
+    chaos.add_argument("--slow-factor", type=float, default=4.0,
+                       help="slow-I/O service-time multiplier")
+    chaos.add_argument("--chaos-seed", type=int, default=1337,
+                       help="fault plan seed (decisions are reproducible)")
+    chaos.add_argument("--attempt-timeout", type=float, default=0.5,
+                       help="per-attempt execution deadline under chaos (s)")
     args = parser.parse_args(argv)
 
-    def engine_config(batching: bool, cache_capacity: int) -> EngineConfig:
+    def engine_config(
+        batching: bool,
+        cache_capacity: int,
+        faults: Optional[FaultPlan] = None,
+    ) -> EngineConfig:
         return EngineConfig(
             workers=args.workers,
             max_inflight=args.max_inflight,
@@ -247,6 +319,9 @@ def main(argv=None) -> int:
             max_batch=args.max_batch,
             cache_capacity=cache_capacity,
             cache_ttl_s=args.cache_ttl,
+            attempt_timeout_s=args.attempt_timeout if faults else 2.0,
+            faults=faults,
+            seed=args.seed,
         )
 
     print(
@@ -262,7 +337,13 @@ def main(argv=None) -> int:
         hot_fraction=args.hot_fraction,
     )
 
-    def run(batching: bool, cache_capacity: int, duration: float) -> dict:
+    def run(
+        batching: bool,
+        cache_capacity: int,
+        duration: float,
+        faults: Optional[FaultPlan] = None,
+        check_invariants: bool = False,
+    ) -> dict:
         return asyncio.run(
             run_load(
                 trees,
@@ -273,9 +354,13 @@ def main(argv=None) -> int:
                 rate=args.rate,
                 seed=args.seed,
                 factory=factory,
-                config=engine_config(batching, cache_capacity),
+                config=engine_config(batching, cache_capacity, faults),
+                check_invariants=check_invariants,
             )
         )
+
+    if args.chaos:
+        return _chaos_main(args, run)
 
     wall_start = time.perf_counter()
     print(
@@ -345,6 +430,107 @@ def main(argv=None) -> int:
     }
     path = report_json("service", payload)
     print(f"\nwrote {path}")
+    return 0
+
+
+def _chaos_main(args, run) -> int:
+    """The ``--chaos`` arm: healthy baseline vs seeded-fault run."""
+    plan = FaultPlan(
+        seed=args.chaos_seed,
+        worker_crash_p=args.crash_p,
+        worker_hang_p=args.hang_p,
+        hang_s=args.hang_s,
+        slow_io_p=args.slow_p,
+        slow_io_factor=args.slow_factor,
+    )
+    wall_start = time.perf_counter()
+    print(heading(f"chaos baseline (healthy) — {args.duration}s"))
+    healthy = run(not args.no_batching, args.cache_capacity, args.duration,
+                  None, True)
+    _print_summary(healthy)
+    print(heading(
+        f"chaos run — crash_p={plan.worker_crash_p} "
+        f"hang_p={plan.worker_hang_p} slow_p={plan.slow_io_p}x"
+        f"{plan.slow_io_factor:g} seed={plan.seed}"
+    ))
+    faulted = run(not args.no_batching, args.cache_capacity, args.duration,
+                  plan, True)
+    _print_summary(faulted)
+
+    failures: list[str] = []
+    for name, summary in (("healthy", healthy), ("faulted", faulted)):
+        if summary["lost"]:
+            failures.append(
+                f"{name} run lost {summary['lost']} request(s) "
+                f"(submitted but no terminal response)"
+            )
+        for verdict in summary["verdicts"]:
+            if not verdict["ok"]:
+                failures.append(
+                    f"{name} run: checker {verdict['checker']} reported "
+                    f"{verdict['violation_count']} violation(s): "
+                    f"{verdict['violations'][:3]}"
+                )
+
+    resilience = faulted["resilience"]
+    print(
+        f"\nfaults injected: {resilience['faults_injected']}   "
+        f"pool: {resilience['pool']}   supervisor: {resilience['supervisor']}"
+    )
+    healthy_tp = healthy["report"]["throughput_rps"]
+    faulted_tp = faulted["report"]["throughput_rps"]
+    print(
+        f"throughput healthy {healthy_tp:.1f} req/s -> faulted "
+        f"{faulted_tp:.1f} req/s   p99 "
+        f"{1e3 * healthy['report']['latency']['p99_s']:.1f}ms -> "
+        f"{1e3 * faulted['report']['latency']['p99_s']:.1f}ms"
+    )
+
+    payload = {
+        "bench": "chaos",
+        "config": {
+            "mode": args.mode,
+            "duration_s": args.duration,
+            "clients": args.clients,
+            "rate": args.rate,
+            "seed": args.seed,
+            "workers": args.workers,
+            "timeout_s": args.timeout,
+            "attempt_timeout_s": args.attempt_timeout,
+            "fault_plan": {
+                "seed": plan.seed,
+                "worker_crash_p": plan.worker_crash_p,
+                "worker_hang_p": plan.worker_hang_p,
+                "hang_s": plan.hang_s,
+                "slow_io_p": plan.slow_io_p,
+                "slow_io_factor": plan.slow_io_factor,
+            },
+        },
+        "scale": args.scale,
+        "wall_time_s": time.perf_counter() - wall_start,
+        "healthy": healthy,
+        "faulted": faulted,
+        "comparison": {
+            "throughput_rps_healthy": healthy_tp,
+            "throughput_rps_faulted": faulted_tp,
+            "throughput_retained": (
+                faulted_tp / healthy_tp if healthy_tp else float("nan")
+            ),
+            "p99_s_healthy": healthy["report"]["latency"]["p99_s"],
+            "p99_s_faulted": faulted["report"]["latency"]["p99_s"],
+            "lost_healthy": healthy["lost"],
+            "lost_faulted": faulted["lost"],
+        },
+        "failures": failures,
+        "ok": not failures,
+    }
+    path = report_json("chaos", payload)
+    print(f"\nwrote {path}")
+    if failures:
+        for failure in failures:
+            print(f"CHAOS FAILURE: {failure}")
+        return 1
+    print("chaos invariants hold: no lost requests, all checkers green")
     return 0
 
 

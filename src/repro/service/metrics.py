@@ -86,7 +86,11 @@ class _ClassStats:
         "timeouts",
         "cancelled",
         "errors",
+        "shed",
         "cache_hits",
+        "stale_served",
+        "retries",
+        "giveups",
         "latency",
     )
 
@@ -98,7 +102,11 @@ class _ClassStats:
         self.timeouts = 0
         self.cancelled = 0
         self.errors = 0
+        self.shed = 0
         self.cache_hits = 0
+        self.stale_served = 0
+        self.retries = 0
+        self.giveups = 0
         self.latency = LatencyReservoir()
 
     def as_dict(self) -> dict:
@@ -110,7 +118,11 @@ class _ClassStats:
             "timeouts": self.timeouts,
             "cancelled": self.cancelled,
             "errors": self.errors,
+            "shed": self.shed,
             "cache_hits": self.cache_hits,
+            "stale_served": self.stale_served,
+            "retries": self.retries,
+            "giveups": self.giveups,
         }
         payload.update(self.latency.quantiles())
         return payload
@@ -156,12 +168,20 @@ class ServiceMetrics:
             self.overall.add(latency)
             if event.data.get("cached"):
                 stats.cache_hits += 1
+            if event.data.get("stale"):
+                stats.stale_served += 1
         elif kind == EventKind.SVC_REQUEST_TIMEOUT:
             self._cls(event).timeouts += 1
         elif kind == EventKind.SVC_REQUEST_CANCELLED:
             self._cls(event).cancelled += 1
         elif kind == EventKind.SVC_REQUEST_ERROR:
             self._cls(event).errors += 1
+        elif kind == EventKind.SVC_REQUEST_SHED:
+            self._cls(event).shed += 1
+        elif kind == EventKind.SUP_CALL_RETRY:
+            self._cls(event).retries += 1
+        elif kind == EventKind.SUP_CALL_GIVEUP:
+            self._cls(event).giveups += 1
         elif kind == EventKind.SVC_BATCH_EXECUTED:
             self.batch_sizes.append(int(event.data.get("size", 0)))
         elif kind == EventKind.SVC_ENGINE_START:
@@ -184,6 +204,18 @@ class ServiceMetrics:
     @property
     def timeouts(self) -> int:
         return sum(s.timeouts for s in self.per_class.values())
+
+    @property
+    def shed(self) -> int:
+        return sum(s.shed for s in self.per_class.values())
+
+    @property
+    def stale_served(self) -> int:
+        return sum(s.stale_served for s in self.per_class.values())
+
+    @property
+    def retries(self) -> int:
+        return sum(s.retries for s in self.per_class.values())
 
     def throughput(self, duration_s: Optional[float] = None) -> float:
         """Completed requests per second over *duration_s* (or the
@@ -213,6 +245,9 @@ class ServiceMetrics:
             "completed": self.completed,
             "rejected": self.rejected,
             "timeouts": self.timeouts,
+            "shed": self.shed,
+            "stale_served": self.stale_served,
+            "retries": self.retries,
             "throughput_rps": self.throughput(duration_s),
             "queue_depth_max": self.queue_depth_max,
             "batch_sizes": self.batch_size_distribution(),

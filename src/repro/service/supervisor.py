@@ -1,0 +1,127 @@
+"""Worker supervision: liveness polling, respawn accounting, pool rescue.
+
+The :class:`Supervisor` is a small asyncio task the engine runs next to
+its worker pool.  Each sweep it
+
+1. snapshots the forked workers' PIDs and emits
+   ``SUP_WORKER_CRASH_DETECTED`` for every worker that died since the
+   last sweep and ``SUP_WORKER_RESPAWNED`` for every replacement the
+   pool brought up (``multiprocessing.Pool`` repopulates lost workers;
+   the supervisor is the observer that turns that into the trace
+   ledger);
+2. fails every in-flight call whose deadline passed
+   (:meth:`WorkerPool.expire_overdue`) so no caller is ever left with a
+   pending future — the engine's retry layer then re-enqueues the work;
+3. if the pool has lost *every* worker and not recovered for two
+   consecutive sweeps, calls :meth:`WorkerPool.restart`: the pool is
+   re-forked from the parent's tree registry (workers re-inherit all
+   trees) and in-flight calls are failed for re-enqueue.
+
+Thread-mode pools have no processes to watch; the supervisor still runs
+the deadline sweep.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from ..trace import NULL_TRACER, EventKind, Tracer
+from .workers import WorkerPool
+
+__all__ = ["Supervisor"]
+
+
+class Supervisor:
+    """Health-checks a :class:`WorkerPool` and rescues it when it dies."""
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        *,
+        interval_s: float = 0.2,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.pool = pool
+        self.interval_s = interval_s
+        self.tracer = tracer
+        self._task: Optional[asyncio.Task] = None
+        self._known_pids: frozenset[int] = frozenset()
+        self._dead_sweeps = 0
+        self.crashes_detected = 0
+        self.respawns_detected = 0
+        self.deadline_expiries = 0
+        self.pool_restarts = 0
+        self.sweeps = 0
+
+    # -- life cycle -----------------------------------------------------------
+    def start(self) -> None:
+        if self._task is not None:
+            raise RuntimeError("supervisor already started")
+        self._known_pids = self.pool.worker_pids()
+        self._task = asyncio.create_task(
+            self._loop(), name="repro-service-supervisor"
+        )
+
+    async def stop(self) -> None:
+        if self._task is None:
+            return
+        task, self._task = self._task, None
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+
+    # -- the sweep -------------------------------------------------------------
+    async def _loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.interval_s)
+            self.sweep()
+
+    def sweep(self) -> None:
+        """One supervision pass (synchronous; callable from tests)."""
+        self.sweeps += 1
+        pids = self.pool.worker_pids()
+        for pid in self._known_pids - pids:
+            self.crashes_detected += 1
+            if self.tracer.enabled:
+                self.tracer.emit(EventKind.SUP_WORKER_CRASH_DETECTED, pid=pid)
+        for pid in pids - self._known_pids:
+            self.respawns_detected += 1
+            if self.tracer.enabled:
+                self.tracer.emit(EventKind.SUP_WORKER_RESPAWNED, pid=pid)
+        self._known_pids = pids
+
+        expired = self.pool.expire_overdue()
+        self.deadline_expiries += expired
+
+        if self.pool.forked:
+            if not pids:
+                self._dead_sweeps += 1
+            else:
+                self._dead_sweeps = 0
+            # One empty snapshot can be a race with the pool's own
+            # repopulation; two in a row means the pool is gone.
+            if self._dead_sweeps >= 2:
+                self.pool_restarts += 1
+                self.pool.restart()
+                self._known_pids = self.pool.worker_pids()
+                self._dead_sweeps = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "sweeps": self.sweeps,
+            "crashes_detected": self.crashes_detected,
+            "respawns_detected": self.respawns_detected,
+            "deadline_expiries": self.deadline_expiries,
+            "pool_restarts": self.pool_restarts,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Supervisor every {self.interval_s * 1e3:.0f}ms "
+            f"crashes={self.crashes_detected} respawns={self.respawns_detected}>"
+        )

@@ -11,6 +11,17 @@ back; no tree is ever pickled.
 On platforms without ``fork`` (or with ``processes=0``) the pool degrades
 to a thread executor over the very same execution functions — correct,
 GIL-bound, and sufficient for tests and small deployments.
+
+Every call through :meth:`WorkerPool.run` is **supervised**: it carries a
+call id and an optional deadline, and it always terminates in a typed
+outcome — the value, a :class:`~repro.service.resilience.WorkerError`
+(worker exception, hard crash, deadline, pool restart), or a propagated
+cancellation — never a silently pending future.  Fault directives from a
+:class:`~repro.faults.injector.FaultInjector` ride along to the worker,
+and the pool emits the ``SUP_CALL_*`` side of the resilience ledger.
+:meth:`restart` re-forks the pool from the parent's tree registry (the
+workers re-inherit every tree) and fails all in-flight calls so the
+engine's retry layer re-enqueues them.
 """
 
 from __future__ import annotations
@@ -18,15 +29,19 @@ from __future__ import annotations
 import asyncio
 import multiprocessing
 import os
+import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
-from typing import Mapping, Optional, Sequence, Tuple
+from typing import Mapping, Optional, Sequence
 
+from ..faults import FaultDirective, FaultInjector, InjectedCrash, apply_directive
 from ..geometry.rect import Rect
 from ..join.sequential import sequential_join
 from ..query.batch import multi_window_query
 from ..rtree.query import nearest_neighbors, window_query
+from ..trace import NULL_TRACER, EventKind, Tracer
+from .resilience import WorkerError
 
 __all__ = ["WorkerPool", "fork_available"]
 
@@ -68,21 +83,41 @@ def _join_on(
     return tuple(sorted(pairs))
 
 
-# Fork-side wrappers: resolve the registry inherited at fork time.
-def _fork_windows(name, rects):
-    return _windows_on(_WORK_TREES, name, rects)
+_EXEC_FNS = {"windows": _windows_on, "knn": _knn_on, "join": _join_on}
 
 
-def _fork_knn(name, x, y, k):
-    return _knn_on(_WORK_TREES, name, x, y, k)
+def _fork_call(kind: str, directive: Optional[FaultDirective], args: tuple):
+    """Worker-side dispatch: apply any fault directive, then execute.
+
+    Resolves the tree registry inherited at fork time.  A ``crash``
+    directive kills this worker process outright (``os._exit``) — the
+    parent observes a lost call, exactly like a real segfault.
+    """
+    if directive is not None:
+        apply_directive(directive, hard_crash=True)
+    return _EXEC_FNS[kind](_WORK_TREES, *args)
 
 
-def _fork_join(name_r, name_s, window):
-    return _join_on(_WORK_TREES, name_r, name_s, window)
+def _inline_call(
+    trees, kind: str, directive: Optional[FaultDirective], args: tuple
+):
+    """Thread-fallback dispatch: crashes surface as :class:`InjectedCrash`."""
+    if directive is not None:
+        apply_directive(directive, hard_crash=False)
+    return _EXEC_FNS[kind](trees, *args)
 
 
-_FORK_FNS = {"windows": _fork_windows, "knn": _fork_knn, "join": _fork_join}
-_INLINE_FNS = {"windows": _windows_on, "knn": _knn_on, "join": _join_on}
+class _InflightCall:
+    """Parent-side record of one dispatched call (for the supervisor)."""
+
+    __slots__ = ("call_id", "kind", "future", "deadline_at", "faulted")
+
+    def __init__(self, call_id, kind, future, deadline_at, faulted):
+        self.call_id = call_id
+        self.kind = kind
+        self.future = future
+        self.deadline_at = deadline_at
+        self.faulted = faulted
 
 
 class WorkerPool:
@@ -90,20 +125,35 @@ class WorkerPool:
 
     ``processes > 0`` asks for that many forked workers; 0 (or a platform
     without ``fork``, with a warning) selects the thread fallback.
+    ``injector`` enables fault injection on calls; ``tracer`` receives
+    the ``SUP_CALL_*`` ledger.
     """
 
-    def __init__(self, trees: Mapping[str, object], processes: int = 0):
+    def __init__(
+        self,
+        trees: Mapping[str, object],
+        processes: int = 0,
+        *,
+        injector: Optional[FaultInjector] = None,
+        tracer: Tracer = NULL_TRACER,
+    ):
         if processes < 0:
             raise ValueError("processes must be >= 0")
         self.trees = dict(trees)
         self.requested_processes = processes
+        self.injector = injector
+        self.tracer = tracer
         self._pool = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self.forked = False
+        self._call_seq = 0
+        self._inflight: dict[int, _InflightCall] = {}
+        self.restarts = 0
+        self.calls_failed = 0
+        self.calls_abandoned = 0
 
     # -- life cycle -----------------------------------------------------------
     def start(self) -> None:
-        global _WORK_TREES
         processes = self.requested_processes
         if processes > 0 and not fork_available():
             warnings.warn(
@@ -114,14 +164,7 @@ class WorkerPool:
             )
             processes = 0
         if processes > 0:
-            _WORK_TREES = self.trees
-            try:
-                context = multiprocessing.get_context("fork")
-                self._pool = context.Pool(processes)
-            finally:
-                # Workers inherited the registry at fork; drop the parent's
-                # extra reference so the engine's copy is the only one.
-                _WORK_TREES = None
+            self._fork_pool(processes)
             self.forked = True
         else:
             threads = max(2, min(8, os.cpu_count() or 2))
@@ -129,59 +172,269 @@ class WorkerPool:
                 max_workers=threads, thread_name_prefix="repro-service"
             )
 
+    def _fork_pool(self, processes: int) -> None:
+        global _WORK_TREES
+        # The registry must STAY parked here for the pool's lifetime:
+        # multiprocessing.Pool forks a replacement from the parent each
+        # time a worker dies, and a replacement forked while this is None
+        # would inherit no trees and fail every call it serves.  The
+        # parent holds ``self.trees`` anyway, so this costs nothing.
+        _WORK_TREES = self.trees
+        context = multiprocessing.get_context("fork")
+        self._pool = context.Pool(processes)
+
+    def restart(self) -> int:
+        """Tear down the forked pool and re-fork it from the tree registry.
+
+        The fresh workers re-inherit every tree through fork, exactly as
+        at :meth:`start`.  All in-flight calls fail with a typed
+        :class:`WorkerError` so their awaiters re-enqueue through the
+        engine's retry layer; returns the number of calls so failed.
+        Thread mode has nothing to respawn and is a no-op.
+        """
+        if self._pool is None:
+            return 0
+        dead, self._pool = self._pool, None
+        dead.terminate()
+        dead.join()
+        self._fork_pool(self.requested_processes)
+        self.restarts += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.SUP_POOL_RESTARTED, restarts=self.restarts
+            )
+        failed = 0
+        for entry in list(self._inflight.values()):
+            if not entry.future.done():
+                entry.future.set_exception(
+                    WorkerError(
+                        "worker pool restarted with the call in flight",
+                        cause_type="pool-restarted",
+                        call_id=entry.call_id,
+                        kind=entry.kind,
+                    )
+                )
+                failed += 1
+        return failed
+
     async def close(self) -> None:
-        """Drain and release the backend (blocking joins run off-loop)."""
+        """Release the backend (blocking joins run off-loop).
+
+        Uses ``terminate()`` rather than ``close()``: a worker that hard-
+        crashed mid-call leaves its ``apply_async`` entry in the pool's
+        result cache forever, and ``close()+join()`` spins on that cache
+        never emptying.  The engine has already drained every awaited
+        request by the time it closes the pool, so nothing of value is
+        lost.
+        """
+        global _WORK_TREES
         loop = asyncio.get_running_loop()
         if self._pool is not None:
             pool = self._pool
             self._pool = None
-            pool.close()
+            pool.terminate()
             await loop.run_in_executor(None, pool.join)
+            if _WORK_TREES is self.trees:
+                _WORK_TREES = None
         if self._executor is not None:
             executor = self._executor
             self._executor = None
             await loop.run_in_executor(None, partial(executor.shutdown, True))
 
+    # -- health (what the supervisor polls) -----------------------------------
+    def worker_pids(self) -> frozenset[int]:
+        """PIDs of the currently live forked workers (empty in thread mode)."""
+        pool = self._pool
+        if pool is None:
+            return frozenset()
+        try:
+            return frozenset(
+                p.pid for p in pool._pool if p.pid is not None and p.is_alive()
+            )
+        except (AttributeError, OSError):  # pool mid-teardown
+            return frozenset()
+
+    def expire_overdue(self, grace_s: float = 0.0) -> int:
+        """Fail every in-flight call whose deadline has passed.
+
+        The belt to :meth:`run`'s ``timeout_s`` braces: normally the
+        awaiter's own ``wait_for`` fires first, but a caller that
+        dispatched without a timeout still gets its future resolved here
+        when the supervisor sweeps.  Returns the number of calls failed.
+        """
+        now = time.monotonic()
+        expired = 0
+        for entry in list(self._inflight.values()):
+            if (
+                entry.deadline_at is not None
+                and now > entry.deadline_at + grace_s
+                and not entry.future.done()
+            ):
+                entry.future.set_exception(
+                    WorkerError(
+                        f"call {entry.call_id} ({entry.kind}) exceeded its "
+                        f"deadline (supervisor sweep)",
+                        cause_type="deadline",
+                        call_id=entry.call_id,
+                        kind=entry.kind,
+                    )
+                )
+                expired += 1
+        return expired
+
+    @property
+    def inflight_calls(self) -> int:
+        return len(self._inflight)
+
     # -- submission -----------------------------------------------------------
-    async def run(self, kind: str, *args):
-        """Run one execution function; awaitable from the event loop."""
+    async def run(self, kind: str, *args, timeout_s: Optional[float] = None):
+        """Run one supervised execution; awaitable from the event loop.
+
+        Raises :class:`WorkerError` on any failure (worker exception,
+        crash, deadline) — the future always resolves.  ``timeout_s``
+        bounds this single attempt; retrying is the caller's policy.
+        """
+        if kind not in _EXEC_FNS:
+            raise KeyError(f"unknown execution kind {kind!r}")
         loop = asyncio.get_running_loop()
+        call_id = self._call_seq
+        self._call_seq += 1
+        directive = (
+            self.injector.worker_directive(call_id)
+            if self.injector is not None
+            else None
+        )
+        future: asyncio.Future = loop.create_future()
+        deadline_at = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        entry = _InflightCall(
+            call_id, kind, future, deadline_at, directive is not None
+        )
+        self._inflight[call_id] = entry
+        timer = None
+        if timeout_s is not None:
+            # A plain timer failing the future is much cheaper per call
+            # than asyncio.wait_for (no wrapper coroutine, no cancellation
+            # plumbing) — and this is the hot path of every request.
+            def _expire() -> None:
+                if not future.done():
+                    future.set_exception(
+                        WorkerError(
+                            f"call {call_id} ({kind}) exceeded its "
+                            f"{timeout_s}s deadline (crashed or hung worker)",
+                            cause_type="deadline",
+                            call_id=call_id,
+                            kind=kind,
+                        )
+                    )
+
+            timer = loop.call_later(timeout_s, _expire)
+        try:
+            self._dispatch(loop, kind, directive, args, call_id, future)
+            value = await future
+            if entry.faulted and self.tracer.enabled:
+                # A faulted call that completed anyway (short hang, slow
+                # I/O): close its ledger entry explicitly.
+                self.tracer.emit(EventKind.SUP_CALL_OK, call=call_id)
+            return value
+        except WorkerError as exc:
+            self.calls_failed += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.SUP_CALL_FAILED,
+                    call=exc.call_id,
+                    op=kind,
+                    error=exc.cause_type,
+                )
+            raise
+        except asyncio.CancelledError:
+            self.calls_abandoned += 1
+            if self.tracer.enabled:
+                self.tracer.emit(EventKind.SUP_CALL_ABANDONED, call=call_id)
+            raise
+        finally:
+            if timer is not None:
+                timer.cancel()
+            self._inflight.pop(call_id, None)
+
+    def _dispatch(self, loop, kind, directive, args, call_id, future) -> None:
         if self._pool is not None:
-            future: asyncio.Future = loop.create_future()
 
             def _resolve(value, fut=future):
                 loop.call_soon_threadsafe(_set_result, fut, value)
 
-            def _fail(exc, fut=future):
+            def _fail(exc, fut=future, cid=call_id, knd=kind):
+                # Always a typed WorkerError: whatever the worker raised
+                # (or failed to pickle back) resolves the caller's future.
+                if not isinstance(exc, WorkerError):
+                    exc = WorkerError(
+                        f"worker call {cid} ({knd}) failed: "
+                        f"{type(exc).__name__}: {exc}",
+                        cause_type=type(exc).__name__,
+                        call_id=cid,
+                        kind=knd,
+                    )
                 loop.call_soon_threadsafe(_set_exception, fut, exc)
 
             self._pool.apply_async(
-                _FORK_FNS[kind], args, callback=_resolve, error_callback=_fail
+                _fork_call,
+                (kind, directive, tuple(args)),
+                callback=_resolve,
+                error_callback=_fail,
             )
-            return await future
+            return
         if self._executor is None:
             raise RuntimeError("worker pool is not started")
-        return await loop.run_in_executor(
-            self._executor, partial(_INLINE_FNS[kind], self.trees, *args)
+
+        def _thread_fn(trees=self.trees, cid=call_id, knd=kind):
+            try:
+                return _inline_call(trees, knd, directive, args)
+            except WorkerError:
+                raise
+            except BaseException as exc:
+                raise WorkerError(
+                    f"worker call {cid} ({knd}) failed: "
+                    f"{type(exc).__name__}: {exc}",
+                    cause_type=type(exc).__name__,
+                    call_id=cid,
+                    kind=knd,
+                ) from exc
+
+        thread_future = loop.run_in_executor(self._executor, _thread_fn)
+        thread_future.add_done_callback(
+            lambda tf, fut=future: _settle_from(tf, fut)
         )
 
     # -- convenience ----------------------------------------------------------
-    async def windows(self, name: str, rects: Sequence[tuple]) -> list[tuple]:
-        return await self.run("windows", name, list(rects))
+    async def windows(
+        self, name: str, rects: Sequence[tuple],
+        timeout_s: Optional[float] = None,
+    ) -> list[tuple]:
+        return await self.run("windows", name, list(rects), timeout_s=timeout_s)
 
-    async def knn(self, name: str, x: float, y: float, k: int) -> tuple:
-        return await self.run("knn", name, x, y, k)
+    async def knn(
+        self, name: str, x: float, y: float, k: int,
+        timeout_s: Optional[float] = None,
+    ) -> tuple:
+        return await self.run("knn", name, x, y, k, timeout_s=timeout_s)
 
     async def join(
-        self, name_r: str, name_s: str, window: Optional[tuple]
+        self, name_r: str, name_s: str, window: Optional[tuple],
+        timeout_s: Optional[float] = None,
     ) -> tuple:
-        return await self.run("join", name_r, name_s, window)
+        return await self.run(
+            "join", name_r, name_s, window, timeout_s=timeout_s
+        )
 
     def __repr__(self) -> str:
         mode = (
             f"fork:{self.requested_processes}" if self.forked else "threads"
         )
-        return f"<WorkerPool {mode} trees={sorted(self.trees)}>"
+        return (
+            f"<WorkerPool {mode} trees={sorted(self.trees)} "
+            f"inflight={len(self._inflight)} restarts={self.restarts}>"
+        )
 
 
 def _set_result(fut: asyncio.Future, value) -> None:
@@ -192,3 +445,18 @@ def _set_result(fut: asyncio.Future, value) -> None:
 def _set_exception(fut: asyncio.Future, exc) -> None:
     if not fut.done():
         fut.set_exception(exc)
+
+
+def _settle_from(source: asyncio.Future, target: asyncio.Future) -> None:
+    """Copy a thread-executor future's outcome onto the supervised future."""
+    if target.done():
+        source.exception()  # consume, avoid 'exception never retrieved'
+        return
+    if source.cancelled():
+        target.cancel()
+        return
+    exc = source.exception()
+    if exc is not None:
+        target.set_exception(exc)
+    else:
+        target.set_result(source.result())

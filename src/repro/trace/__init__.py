@@ -20,6 +20,7 @@ from .checkers import (
     DiskAccountingChecker,
     InvariantChecker,
     InvariantViolation,
+    ResilienceAccountingChecker,
     ServiceAccountingChecker,
     StealSoundnessChecker,
     TaskConservationChecker,
@@ -55,6 +56,7 @@ __all__ = [
     "DiskAccountingChecker",
     "ClockMonotonicityChecker",
     "ServiceAccountingChecker",
+    "ResilienceAccountingChecker",
     "default_checkers",
     "service_checkers",
     "run_checkers",

@@ -42,6 +42,7 @@ __all__ = [
     "DiskAccountingChecker",
     "ClockMonotonicityChecker",
     "ServiceAccountingChecker",
+    "ResilienceAccountingChecker",
     "default_checkers",
     "service_checkers",
     "run_checkers",
@@ -489,8 +490,8 @@ class ServiceAccountingChecker(InvariantChecker):
 
     * **requests** — every submitted request is either admitted or
       rejected; every admitted request reaches exactly one terminal state
-      (completed, timeout, cancelled, error); nothing is still in flight
-      when the engine stops.
+      (completed, timeout, cancelled, error, shed); nothing is still in
+      flight when the engine stops.
     * **cache** — every lookup is a hit or a miss (``hits + misses ==
       lookups``); inserts only follow misses; evictions and expirations
       never exceed inserts; and the number of admitted cacheable requests
@@ -505,6 +506,7 @@ class ServiceAccountingChecker(InvariantChecker):
         EventKind.SVC_REQUEST_TIMEOUT,
         EventKind.SVC_REQUEST_CANCELLED,
         EventKind.SVC_REQUEST_ERROR,
+        EventKind.SVC_REQUEST_SHED,
     }
 
     def __init__(self) -> None:
@@ -517,8 +519,11 @@ class ServiceAccountingChecker(InvariantChecker):
         self.timeouts = 0
         self.cancelled = 0
         self.errors = 0
+        self.shed = 0
+        self.stale_served = 0
         self.hits = 0
         self.misses = 0
+        self.stale_hits = 0
         self.inserts = 0
         self.evictions = 0
         self.expirations = 0
@@ -539,16 +544,22 @@ class ServiceAccountingChecker(InvariantChecker):
             self.rejected += 1
         elif kind == EventKind.SVC_REQUEST_COMPLETED:
             self.completed += 1
+            if event.data.get("stale"):
+                self.stale_served += 1
         elif kind == EventKind.SVC_REQUEST_TIMEOUT:
             self.timeouts += 1
         elif kind == EventKind.SVC_REQUEST_CANCELLED:
             self.cancelled += 1
         elif kind == EventKind.SVC_REQUEST_ERROR:
             self.errors += 1
+        elif kind == EventKind.SVC_REQUEST_SHED:
+            self.shed += 1
         elif kind == EventKind.SVC_CACHE_HIT:
             self.hits += 1
         elif kind == EventKind.SVC_CACHE_MISS:
             self.misses += 1
+        elif kind == EventKind.SVC_CACHE_STALE_HIT:
+            self.stale_hits += 1
         elif kind == EventKind.SVC_CACHE_INSERT:
             self.inserts += 1
             if self.inserts > self.misses:
@@ -576,11 +587,19 @@ class ServiceAccountingChecker(InvariantChecker):
                 f"submitted ({self.submitted}) != admitted ({self.admitted}) "
                 f"+ rejected ({self.rejected})"
             )
-        terminal = self.completed + self.timeouts + self.cancelled + self.errors
+        terminal = (
+            self.completed + self.timeouts + self.cancelled + self.errors
+            + self.shed
+        )
         if self.stopped and terminal != self.admitted:
             self._violate(
                 f"admitted ({self.admitted}) != terminal outcomes ({terminal}) "
                 "after engine stop — requests lost or double-counted"
+            )
+        if self.stale_served > self.stale_hits:
+            self._violate(
+                f"stale responses served ({self.stale_served}) exceed stale "
+                f"cache reads ({self.stale_hits})"
             )
         if self.evictions + self.expirations > self.inserts:
             self._violate(
@@ -608,12 +627,219 @@ class ServiceAccountingChecker(InvariantChecker):
             "timeouts": self.timeouts,
             "cancelled": self.cancelled,
             "errors": self.errors,
+            "shed": self.shed,
+            "stale_served": self.stale_served,
             "cache_hits": self.hits,
             "cache_misses": self.misses,
+            "cache_stale_hits": self.stale_hits,
             "cache_inserts": self.inserts,
             "cache_evictions": self.evictions,
             "cache_expirations": self.expirations,
             "batches": self.batches,
+        }
+
+
+class ResilienceAccountingChecker(InvariantChecker):
+    """Every injected fault is recovered or surfaced — never silently lost.
+
+    The fault injector emits one ``FLT_INJECT_*`` event per injection
+    (parent-side, so even a hard-crashed child cannot hide one), and the
+    supervision layer emits the ``SUP_*`` recovery ledger.  The two must
+    reconcile:
+
+    * every faulted worker call (``FLT_INJECT_CRASH``/``HANG``/call-keyed
+      ``SLOW_IO``) is **closed**: it either completed anyway
+      (``SUP_CALL_OK``), failed explicitly (``SUP_CALL_FAILED``) or was
+      abandoned by a cancelled awaiter (``SUP_CALL_ABANDONED``);
+    * every explicit failure of a call is **answered**: the retry layer
+      either retried it (``SUP_CALL_RETRY``) or gave up on it
+      (``SUP_CALL_GIVEUP``) — an unanswered failure is a request left
+      hanging;
+    * retries respect their deadline budget: a ``SUP_CALL_RETRY`` whose
+      ``remaining_s`` is negative scheduled work past the request's
+      admission timeout;
+    * give-ups surface: the stream cannot contain more give-ups than
+      error/timeout/cancellation outcomes (one batch give-up may surface
+      as several request errors, never zero);
+    * every injected page corruption is detected and repaired
+      (``FLT_INJECT_CORRUPT`` == ``SUP_PAGE_CORRUPT_DETECTED`` ==
+      ``SUP_PAGE_REPAIRED``, also per page id);
+    * circuit-breaker transitions are lawful per class:
+      closed→open, open→half-open, half-open→open|closed.
+
+    On a healthy stream (no ``FLT_*``/``SUP_*`` events at all) every rule
+    is vacuously satisfied, so the checker can ride on any service run.
+    """
+
+    name = "resilience-accounting"
+
+    _CALL_FAULTS = {
+        EventKind.FLT_INJECT_CRASH,
+        EventKind.FLT_INJECT_HANG,
+        EventKind.FLT_INJECT_SLOW_IO,
+    }
+    _CALL_CLOSERS = {
+        EventKind.SUP_CALL_OK,
+        EventKind.SUP_CALL_FAILED,
+        EventKind.SUP_CALL_ABANDONED,
+    }
+    _BREAKER_EDGES = {
+        ("closed", EventKind.SUP_BREAKER_OPEN),
+        ("open", EventKind.SUP_BREAKER_HALF_OPEN),
+        ("half-open", EventKind.SUP_BREAKER_OPEN),
+        ("half-open", EventKind.SUP_BREAKER_CLOSED),
+    }
+    _BREAKER_STATE = {
+        EventKind.SUP_BREAKER_OPEN: "open",
+        EventKind.SUP_BREAKER_HALF_OPEN: "half-open",
+        EventKind.SUP_BREAKER_CLOSED: "closed",
+    }
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._faulted: set = set()
+        self._closed: set = set()
+        self._unanswered: dict = {}  # call id -> open SUP_CALL_FAILED count
+        self.injected_calls = 0
+        self.calls_ok = 0
+        self.calls_failed = 0
+        self.calls_abandoned = 0
+        self.retries = 0
+        self.giveups = 0
+        self.corruptions = 0
+        self.detections = 0
+        self.repairs = 0
+        self._corrupt_pages: dict = {}
+        self._detected_pages: dict = {}
+        self._repaired_pages: dict = {}
+        self._breaker_state: dict = {}
+        self.breaker_transitions = 0
+        self.surfaced = 0  # error + timeout + cancellation outcomes
+
+    def observe(self, event: TraceEvent) -> None:
+        kind = event.kind
+        data = event.data
+        if kind in self._CALL_FAULTS:
+            call = data.get("call")
+            if call is not None:  # disk-seam SLOW_IO is page-, not call-keyed
+                self.injected_calls += 1
+                self._faulted.add(call)
+        elif kind in self._CALL_CLOSERS:
+            call = data.get("call")
+            self._closed.add(call)
+            if kind is EventKind.SUP_CALL_OK:
+                self.calls_ok += 1
+            elif kind is EventKind.SUP_CALL_ABANDONED:
+                self.calls_abandoned += 1
+            else:
+                self.calls_failed += 1
+                self._unanswered[call] = self._unanswered.get(call, 0) + 1
+        elif kind is EventKind.SUP_CALL_RETRY:
+            self.retries += 1
+            self._answer(data.get("call"))
+            remaining = data.get("remaining_s")
+            if remaining is not None and remaining < 0:
+                self._violate(
+                    f"retry of call {data.get('call')} scheduled with "
+                    f"{remaining:.6f}s remaining — past its deadline budget"
+                )
+        elif kind is EventKind.SUP_CALL_GIVEUP:
+            self.giveups += 1
+            self._answer(data.get("call"))
+        elif kind is EventKind.FLT_INJECT_CORRUPT:
+            self.corruptions += 1
+            page = data.get("page")
+            self._corrupt_pages[page] = self._corrupt_pages.get(page, 0) + 1
+        elif kind is EventKind.SUP_PAGE_CORRUPT_DETECTED:
+            self.detections += 1
+            page = data.get("page")
+            self._detected_pages[page] = self._detected_pages.get(page, 0) + 1
+        elif kind is EventKind.SUP_PAGE_REPAIRED:
+            self.repairs += 1
+            page = data.get("page")
+            self._repaired_pages[page] = self._repaired_pages.get(page, 0) + 1
+        elif kind in self._BREAKER_STATE:
+            self.breaker_transitions += 1
+            cls = data.get("cls", "?")
+            current = self._breaker_state.get(cls, "closed")
+            if (current, kind) not in self._BREAKER_EDGES:
+                self._violate(
+                    f"breaker[{cls}] transitioned {current} -> "
+                    f"{self._BREAKER_STATE[kind]} — not a lawful edge"
+                )
+            self._breaker_state[cls] = self._BREAKER_STATE[kind]
+        elif kind in (
+            EventKind.SVC_REQUEST_ERROR,
+            EventKind.SVC_REQUEST_TIMEOUT,
+            EventKind.SVC_REQUEST_CANCELLED,
+        ):
+            self.surfaced += 1
+
+    def _answer(self, call) -> None:
+        open_failures = self._unanswered.get(call, 0)
+        if open_failures <= 0:
+            self._violate(
+                f"retry/give-up for call {call} without an open "
+                f"SUP_CALL_FAILED"
+            )
+            return
+        if open_failures == 1:
+            del self._unanswered[call]
+        else:
+            self._unanswered[call] = open_failures - 1
+
+    def at_end(self) -> None:
+        lost = sorted(
+            c for c in self._faulted - self._closed if c is not None
+        )
+        for call in lost[:MAX_STORED_VIOLATIONS]:
+            self._violate(
+                f"injected fault on call {call} was never closed "
+                f"(no SUP_CALL_OK/FAILED/ABANDONED) — silently lost"
+            )
+        self.violation_count += max(0, len(lost) - MAX_STORED_VIOLATIONS)
+        unanswered = sorted(k for k in self._unanswered if k is not None)
+        for call in unanswered[:MAX_STORED_VIOLATIONS]:
+            self._violate(
+                f"failure of call {call} never answered by a retry or "
+                f"give-up"
+            )
+        self.violation_count += max(
+            0, len(unanswered) - MAX_STORED_VIOLATIONS
+        )
+        if self.giveups > self.surfaced:
+            self._violate(
+                f"give-ups ({self.giveups}) exceed surfaced "
+                f"error/timeout/cancellation outcomes ({self.surfaced}) — "
+                f"a give-up vanished"
+            )
+        if self.detections != self.corruptions:
+            self._violate(
+                f"injected corruptions ({self.corruptions}) != detections "
+                f"({self.detections})"
+            )
+        if self.repairs != self.detections:
+            self._violate(
+                f"detections ({self.detections}) != repairs ({self.repairs})"
+            )
+        for page, count in self._corrupt_pages.items():
+            if self._repaired_pages.get(page, 0) != count:
+                self._violate(
+                    f"page {page}: {count} corruption(s) injected but "
+                    f"{self._repaired_pages.get(page, 0)} repair(s)"
+                )
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "injected_calls": self.injected_calls,
+            "calls_ok": self.calls_ok,
+            "calls_failed": self.calls_failed,
+            "calls_abandoned": self.calls_abandoned,
+            "retries": self.retries,
+            "giveups": self.giveups,
+            "corruptions": self.corruptions,
+            "repairs": self.repairs,
+            "breaker_transitions": self.breaker_transitions,
         }
 
 
@@ -625,6 +851,9 @@ def default_checkers() -> list[InvariantChecker]:
         BufferCoherenceChecker(),
         DiskAccountingChecker(),
         ClockMonotonicityChecker(),
+        # Vacuous without FLT_*/SUP_* events, so it rides on every run and
+        # bites only when fault injection is active.
+        ResilienceAccountingChecker(),
     ]
 
 
@@ -632,6 +861,7 @@ def service_checkers() -> list[InvariantChecker]:
     """Fresh checkers for a serving-engine (wall-clock) event stream."""
     return [
         ServiceAccountingChecker(),
+        ResilienceAccountingChecker(),
         ClockMonotonicityChecker(),
     ]
 

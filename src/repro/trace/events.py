@@ -82,6 +82,31 @@ class EventKind(str, enum.Enum):
     SVC_CACHE_INSERT = "svc_cache_insert"
     SVC_CACHE_EVICT = "svc_cache_evict"
     SVC_CACHE_EXPIRE = "svc_cache_expire"
+    SVC_CACHE_STALE_HIT = "svc_cache_stale_hit"
+    #: Admitted but deliberately dropped in a degraded mode (open circuit
+    #: with no stale cache entry) — the 503 of the engine.
+    SVC_REQUEST_SHED = "svc_request_shed"
+
+    # fault injection (repro.faults) — the sabotage ledger
+    FLT_INJECT_CRASH = "flt_inject_crash"
+    FLT_INJECT_HANG = "flt_inject_hang"
+    FLT_INJECT_SLOW_IO = "flt_inject_slow_io"
+    FLT_INJECT_CORRUPT = "flt_inject_corrupt"
+
+    # resilience / supervision — the recovery ledger
+    SUP_CALL_OK = "sup_call_ok"            # a faulted call completed anyway
+    SUP_CALL_FAILED = "sup_call_failed"    # one pool call failed (typed)
+    SUP_CALL_ABANDONED = "sup_call_abandoned"  # awaiter gone (timeout/cancel)
+    SUP_CALL_RETRY = "sup_call_retry"      # engine re-enqueues a failed call
+    SUP_CALL_GIVEUP = "sup_call_giveup"    # retries exhausted; error surfaces
+    SUP_WORKER_CRASH_DETECTED = "sup_worker_crash_detected"
+    SUP_WORKER_RESPAWNED = "sup_worker_respawned"
+    SUP_POOL_RESTARTED = "sup_pool_restarted"
+    SUP_BREAKER_OPEN = "sup_breaker_open"
+    SUP_BREAKER_HALF_OPEN = "sup_breaker_half_open"
+    SUP_BREAKER_CLOSED = "sup_breaker_closed"
+    SUP_PAGE_CORRUPT_DETECTED = "sup_page_corrupt_detected"
+    SUP_PAGE_REPAIRED = "sup_page_repaired"
 
 
 @dataclass(frozen=True, slots=True)

@@ -1,0 +1,157 @@
+"""Units for the fault-injection framework itself: plan validation,
+seeded determinism, directives, and checksummed page corruption."""
+
+import pytest
+
+from repro.faults import (
+    FaultDirective,
+    FaultInjector,
+    FaultPlan,
+    InjectedCrash,
+    NO_FAULTS,
+    apply_directive,
+)
+from repro.storage.page import PageImage, page_checksum
+from repro.trace import EventKind, ListSink, Tracer
+
+
+class TestFaultPlan:
+    def test_no_faults_is_inactive(self):
+        assert not NO_FAULTS.active
+
+    def test_any_probability_activates(self):
+        assert FaultPlan(worker_crash_p=0.1).active
+        assert FaultPlan(worker_hang_p=0.1).active
+        assert FaultPlan(slow_io_p=0.1).active
+        assert FaultPlan(page_flip_p=0.1).active
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"worker_crash_p": -0.1},
+            {"worker_crash_p": 1.5},
+            {"slow_io_factor": 0.5},
+            {"hang_s": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(**kwargs)
+
+    def test_rng_streams_are_per_site_and_seeded(self):
+        plan = FaultPlan(seed=42, worker_crash_p=0.5)
+        # Same seed + site -> identical stream; different site -> different.
+        a = [plan.rng_for("worker").random() for _ in range(5)]
+        b = [plan.rng_for("worker").random() for _ in range(5)]
+        c = [plan.rng_for("io").random() for _ in range(5)]
+        assert a == b
+        assert a != c
+
+    def test_reseeded(self):
+        plan = FaultPlan(seed=1, worker_crash_p=0.3)
+        other = plan.reseeded(2)
+        assert other.seed == 2
+        assert other.worker_crash_p == plan.worker_crash_p
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_directives(self):
+        plan = FaultPlan(
+            seed=7, worker_crash_p=0.2, worker_hang_p=0.2, slow_io_p=0.2
+        )
+        runs = []
+        for _ in range(2):
+            injector = FaultInjector(plan)
+            runs.append(
+                [injector.worker_directive(i) for i in range(50)]
+            )
+        assert runs[0] == runs[1]
+        assert any(d is not None for d in runs[0])
+
+    def test_different_seed_different_decisions(self):
+        base = FaultPlan(seed=7, worker_crash_p=0.3)
+        one = [
+            FaultInjector(base).worker_directive(i) for i in range(64)
+        ]
+        two = [
+            FaultInjector(base.reseeded(8)).worker_directive(i)
+            for i in range(64)
+        ]
+        assert one != two
+
+    def test_injections_are_traced_with_call_ids(self):
+        sink = ListSink()
+        tracer = Tracer(clock=lambda: 0.0, sinks=[sink])
+        plan = FaultPlan(seed=3, worker_crash_p=1.0)
+        injector = FaultInjector(plan, tracer=tracer)
+        injector.worker_directive(17)
+        assert injector.crashes == 1
+        [event] = sink.events
+        assert event.kind is EventKind.FLT_INJECT_CRASH
+        assert event.data["call"] == 17
+
+    def test_io_multiplier(self):
+        plan = FaultPlan(seed=5, slow_io_p=1.0, slow_io_factor=4.0)
+        injector = FaultInjector(plan)
+        assert injector.io_multiplier(12) == 4.0
+        healthy = FaultInjector(FaultPlan(seed=5))
+        assert healthy.io_multiplier(12) == 1.0
+
+
+class TestDirectives:
+    def test_apply_none_is_noop(self):
+        apply_directive(None, hard_crash=True)
+
+    def test_soft_crash_raises(self):
+        with pytest.raises(InjectedCrash):
+            apply_directive(FaultDirective("crash"), hard_crash=False)
+
+    def test_hang_sleeps_briefly(self):
+        apply_directive(
+            FaultDirective("hang", sleep_s=0.001), hard_crash=False
+        )
+
+    def test_directive_is_picklable(self):
+        import pickle
+
+        directive = FaultDirective("hang", sleep_s=0.5)
+        assert pickle.loads(pickle.dumps(directive)) == directive
+
+
+class TestPageChecksums:
+    def test_checksum_detects_any_single_bit_flip(self):
+        payload = bytes(range(64))
+        reference = page_checksum(payload)
+        for bit in range(0, len(payload) * 8, 37):
+            corrupted = bytearray(payload)
+            corrupted[bit // 8] ^= 1 << (bit % 8)
+            assert page_checksum(bytes(corrupted)) != reference
+
+    def test_page_image_verify(self):
+        image = PageImage.build(3, b"spatial join")
+        assert image.verify()
+        broken = PageImage(3, b"spatial joiN", image.checksum)
+        assert not broken.verify()
+
+    def test_corrupt_copy_flips_exactly_one_bit(self):
+        plan = FaultPlan(seed=11, page_flip_p=1.0)
+        injector = FaultInjector(plan)
+        payload = bytes(100)
+        corrupted = injector.corrupt_copy(7, payload)
+        assert corrupted != payload
+        diff = [
+            bin(a ^ b).count("1") for a, b in zip(payload, corrupted)
+        ]
+        assert sum(diff) == 1
+        assert injector.corruptions == 1
+
+    def test_corrupt_copy_deterministic(self):
+        plan = FaultPlan(seed=11, page_flip_p=0.5)
+        payload = bytes(range(200))
+        one = [
+            FaultInjector(plan).corrupt_copy(i, payload) for i in range(32)
+        ]
+        two = [
+            FaultInjector(plan).corrupt_copy(i, payload) for i in range(32)
+        ]
+        assert one == two

@@ -1,5 +1,6 @@
 """Tests for the real multiprocessing filter-step backend."""
 
+import time
 import warnings
 
 import pytest
@@ -86,6 +87,45 @@ class TestForkGuard:
             warnings.simplefilter("error")
             pairs = multiprocessing_join(tree_r, tree_s, processes=1)
         assert len(pairs) > 0
+
+
+def _hang_forever(bounds):
+    # Stands in for _run_task_range; must be module-level so the pool can
+    # pickle a reference to it.
+    time.sleep(600)
+
+
+class TestDeadline:
+    def test_hung_workers_fall_back_to_serial(self, trees, monkeypatch):
+        """Workers that never deliver must not block the caller forever:
+        the deadline terminates the pool, warns, and recomputes serially
+        (regression: pool.map had no timeout)."""
+        tree_r, tree_s = trees
+        # The serial fallback path uses join_subtrees directly and is
+        # unaffected by the patch.
+        monkeypatch.setattr(mp_module, "_run_task_range", _hang_forever)
+        started = time.perf_counter()
+        with pytest.warns(RuntimeWarning, match="serial fallback"):
+            pairs = multiprocessing_join(
+                tree_r, tree_s, processes=2, timeout_s=0.5
+            )
+        assert time.perf_counter() - started < 30
+        assert set(pairs) == sequential_join(tree_r, tree_s).pair_set()
+        assert mp_module._WORK is None
+
+    def test_generous_deadline_runs_parallel_without_warning(self, trees):
+        tree_r, tree_s = trees
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            pairs = multiprocessing_join(
+                tree_r, tree_s, processes=2, timeout_s=120.0
+            )
+        assert set(pairs) == sequential_join(tree_r, tree_s).pair_set()
+
+    def test_timeout_must_be_positive(self, trees):
+        tree_r, tree_s = trees
+        with pytest.raises(ValueError):
+            multiprocessing_join(tree_r, tree_s, processes=2, timeout_s=0.0)
 
 
 class TestMultiprocessingRefinement:

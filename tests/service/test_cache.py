@@ -112,3 +112,86 @@ class TestResultCache:
         cache.put("c", 3)
         assert cache.get("b") is MISS
         assert cache.get("a") == 99
+
+
+class TestStaleness:
+    """Staleness semantics: an expired entry is a miss on the normal
+    path, but the serve-stale degraded path can still read it — counted
+    and flagged separately from a hit."""
+
+    def make(self, keep_stale=True):
+        clock = FakeClock()
+        cache = ResultCache(
+            capacity=4, ttl_s=10.0, keep_stale=keep_stale, clock=clock
+        )
+        cache.put("a", (1, 2))
+        clock.advance(11.0)  # expire it
+        return cache, clock
+
+    def test_expired_entry_is_a_miss_but_kept(self):
+        cache, _ = self.make(keep_stale=True)
+        assert cache.get("a") is MISS
+        assert cache.expirations == 1
+        assert len(cache) == 1  # retained for degraded reads
+
+    def test_expired_entry_deleted_without_keep_stale(self):
+        cache, _ = self.make(keep_stale=False)
+        assert cache.get("a") is MISS
+        assert len(cache) == 0
+        assert cache.get_stale("a") is MISS
+
+    def test_get_stale_returns_expired_value(self):
+        cache, _ = self.make(keep_stale=True)
+        assert cache.get("a") is MISS  # normal path refuses
+        assert cache.get_stale("a") == (1, 2)  # degraded path serves
+        assert cache.stale_hits == 1
+        assert cache.hits == 0  # a stale serve is never a plain hit
+
+    def test_get_stale_does_not_refresh_lru(self):
+        clock = FakeClock()
+        cache = ResultCache(
+            capacity=2, ttl_s=10.0, keep_stale=True, clock=clock
+        )
+        cache.put("a", 1)
+        cache.put("b", 2)
+        clock.advance(11.0)
+        cache.get_stale("a")  # must NOT move "a" to MRU
+        cache.put("c", 3)  # evicts the LRU tail, still "a"
+        assert cache.get_stale("a") is MISS
+        assert cache.get_stale("b") == 2
+
+    def test_get_stale_also_serves_fresh_entries(self):
+        clock = FakeClock()
+        cache = ResultCache(
+            capacity=4, ttl_s=10.0, keep_stale=True, clock=clock
+        )
+        cache.put("a", 1)
+        assert cache.get_stale("a") == 1
+        assert cache.stale_hits == 1
+
+    def test_stale_hits_traced_distinctly(self):
+        from repro.trace import EventKind, ListSink, Tracer
+
+        clock = FakeClock()
+        sink = ListSink()
+        tracer = Tracer(clock=clock, sinks=[sink])
+        cache = ResultCache(
+            capacity=4, ttl_s=10.0, keep_stale=True, clock=clock,
+            tracer=tracer,
+        )
+        cache.put("a", 1)
+        clock.advance(11.0)
+        cache.get("a")
+        cache.get_stale("a")
+        kinds = [e.kind for e in sink.events]
+        assert kinds == [
+            EventKind.SVC_CACHE_INSERT,
+            EventKind.SVC_CACHE_EXPIRE,
+            EventKind.SVC_CACHE_MISS,
+            EventKind.SVC_CACHE_STALE_HIT,
+        ]
+
+    def test_stats_include_stale_hits(self):
+        cache, _ = self.make(keep_stale=True)
+        cache.get_stale("a")
+        assert cache.stats()["stale_hits"] == 1

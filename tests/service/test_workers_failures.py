@@ -1,0 +1,188 @@
+"""Failure semantics of the worker pool: every call terminates in a
+typed outcome — a value or a :class:`WorkerError` — never a silently
+pending future (the satellite regression of ``_fail``)."""
+
+import asyncio
+import os
+import pickle
+import signal
+import time
+
+import pytest
+
+from repro.datagen import build_tree, paper_maps
+from repro.faults import FaultInjector, FaultPlan
+from repro.service import WorkerError, WorkerPool, fork_available
+from repro.trace import EventKind, ListSink, Tracer
+
+
+@pytest.fixture(scope="module")
+def trees():
+    map1, _ = paper_maps(scale=0.01)
+    return {"map1": build_tree(map1)}
+
+
+def run_pool(trees, processes, coro_fn, **pool_kwargs):
+    async def main():
+        pool = WorkerPool(trees, processes, **pool_kwargs)
+        pool.start()
+        try:
+            return await coro_fn(pool)
+        finally:
+            await pool.close()
+
+    return asyncio.run(main())
+
+
+class TestWorkerErrorType:
+    def test_pickle_round_trip(self):
+        error = WorkerError(
+            "boom", cause_type="KeyError", call_id=7, kind="knn"
+        )
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, WorkerError)
+        assert clone.cause_type == "KeyError"
+        assert clone.call_id == 7
+        assert clone.kind == "knn"
+        assert "boom" in str(clone)
+
+    def test_unknown_execution_kind_rejected(self, trees):
+        async def body(pool):
+            with pytest.raises(KeyError):
+                await pool.run("divination", "map1")
+
+        run_pool(trees, 0, body)
+
+
+class TestThreadModeFailures:
+    def test_unknown_tree_is_typed_worker_error(self, trees):
+        async def body(pool):
+            with pytest.raises(WorkerError) as info:
+                await pool.run("knn", "nope", 0.0, 0.0, 3)
+            return info.value
+
+        error = run_pool(trees, 0, body)
+        assert error.cause_type == "KeyError"
+        assert error.kind == "knn"
+        assert error.call_id >= 0
+
+    def test_failure_emits_sup_call_failed(self, trees):
+        sink = ListSink()
+        tracer = Tracer(clock=time.monotonic, sinks=[sink])
+
+        async def body(pool):
+            with pytest.raises(WorkerError):
+                await pool.run("windows", "nope", [(0, 0, 1, 1)])
+
+        run_pool(trees, 0, body, tracer=tracer)
+        failed = [
+            e for e in sink.events if e.kind is EventKind.SUP_CALL_FAILED
+        ]
+        assert len(failed) == 1
+        assert failed[0].data["op"] == "windows"
+        assert failed[0].data["error"] == "KeyError"
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(not fork_available(), reason="needs os.fork")
+class TestForkModeFailures:
+    def test_unknown_tree_is_typed_worker_error(self, trees):
+        async def body(pool):
+            assert pool.forked
+            with pytest.raises(WorkerError) as info:
+                await pool.run("knn", "nope", 0.0, 0.0, 3)
+            return info.value
+
+        error = run_pool(trees, 2, body)
+        assert error.cause_type == "KeyError"
+
+    def test_killed_worker_resolves_future_with_deadline_error(self, trees):
+        """SIGKILL one worker while its call is in flight: the awaited
+        future must still resolve — as a typed deadline WorkerError —
+        instead of hanging forever (the original ``_fail`` bug).  A hang
+        directive pins the call inside the worker so the kill is
+        guaranteed to land mid-call."""
+        plan = FaultPlan(seed=1, worker_hang_p=1.0, hang_s=30.0)
+        injector = FaultInjector(plan)
+
+        async def body(pool):
+            victim = next(iter(pool.worker_pids()))
+
+            async def assassin():
+                await asyncio.sleep(0.1)
+                os.kill(victim, signal.SIGKILL)
+
+            kill_task = asyncio.ensure_future(assassin())
+            with pytest.raises(WorkerError) as info:
+                await pool.run("knn", "map1", 0.5, 0.5, 3, timeout_s=1.0)
+            await kill_task
+            return info.value
+
+        error = run_pool(trees, 1, body, injector=injector)
+        assert error.cause_type == "deadline"
+        assert error.kind == "knn"
+
+    def test_injected_crash_resolves_future(self, trees):
+        """A worker dying via os._exit (the injected crash) leaves its
+        apply_async entry orphaned; the deadline brace must still fail
+        the call in bounded time."""
+        plan = FaultPlan(seed=2, worker_crash_p=1.0)
+        injector = FaultInjector(plan)
+
+        async def body(pool):
+            started = time.monotonic()
+            with pytest.raises(WorkerError) as info:
+                await pool.run("knn", "map1", 0.5, 0.5, 3, timeout_s=0.5)
+            return info.value, time.monotonic() - started
+
+        error, elapsed = run_pool(trees, 2, body, injector=injector)
+        assert error.cause_type == "deadline"
+        assert elapsed < 10
+        assert injector.crashes == 1
+
+    def test_restart_fails_inflight_and_recovers(self, trees):
+        async def body(pool):
+            pids_before = pool.worker_pids()
+            assert pids_before
+
+            call = asyncio.ensure_future(
+                pool.run("knn", "map1", 0.5, 0.5, 8, timeout_s=5.0)
+            )
+            await asyncio.sleep(0)  # let the dispatch happen
+            pool.restart()
+            outcome = await asyncio.gather(call, return_exceptions=True)
+
+            # The fresh pool re-inherited the trees and serves again.
+            value = await pool.run("knn", "map1", 0.5, 0.5, 3, timeout_s=5.0)
+            return pids_before, pool.worker_pids(), outcome[0], value
+
+        before, after, outcome, value = run_pool(trees, 2, body)
+        assert after and after.isdisjoint(before)
+        # The in-flight call either finished before the restart landed or
+        # was failed by it — but it resolved either way.
+        assert isinstance(outcome, (tuple, WorkerError))
+        if isinstance(outcome, WorkerError):
+            assert outcome.cause_type == "pool-restarted"
+        assert len(value) == 3
+
+    def test_expire_overdue_fails_stuck_calls(self, trees):
+        """The supervisor's belt to run()'s braces: a registered call
+        whose deadline has passed gets its future failed by the sweep."""
+        from repro.service.workers import _InflightCall
+
+        async def body(pool):
+            loop = asyncio.get_running_loop()
+            stuck = loop.create_future()
+            pool._inflight[999] = _InflightCall(
+                999, "knn", stuck, time.monotonic() - 1.0, True
+            )
+            expired = pool.expire_overdue()
+            error = stuck.exception()
+            del pool._inflight[999]
+            return expired, error
+
+        expired, error = run_pool(trees, 1, body)
+        assert expired == 1
+        assert isinstance(error, WorkerError)
+        assert error.cause_type == "deadline"
+        assert error.call_id == 999

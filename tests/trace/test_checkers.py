@@ -290,7 +290,7 @@ class TestClockMonotonicity:
 
 
 class TestCheckerPlumbing:
-    def test_default_checkers_are_the_five_standard_ones(self):
+    def test_default_checkers_are_the_six_standard_ones(self):
         names = [checker.name for checker in default_checkers()]
         assert names == [
             "task-conservation",
@@ -298,6 +298,7 @@ class TestCheckerPlumbing:
             "buffer-coherence",
             "disk-accounting",
             "clock-monotonicity",
+            "resilience-accounting",
         ]
 
     def test_run_checkers_replays_everything(self):
@@ -305,7 +306,7 @@ class TestCheckerPlumbing:
         s.emit(EventKind.RUN_START, disks=2, reassign_level="all", task_level=1)
         s.emit(EventKind.RUN_END)
         verdicts = run_checkers(s.events)
-        assert len(verdicts) == 5
+        assert len(verdicts) == 6
         assert all(v.ok for v in verdicts)
 
     def test_violation_storage_is_capped(self):
@@ -326,3 +327,135 @@ class TestCheckerPlumbing:
         verdict = verdict_of(TaskConservationChecker(), s.events)
         assert verdict.checker in verdict.summary()
         assert "violation" in verdict.summary()
+
+
+class TestResilienceAccounting:
+    """The FLT_*/SUP_* two-ledger reconciliation on handcrafted streams."""
+
+    def make(self):
+        from repro.trace import ResilienceAccountingChecker
+
+        return ResilienceAccountingChecker()
+
+    def test_healthy_stream_is_vacuously_ok(self):
+        s = Stream()
+        s.emit(EventKind.RUN_START, disks=1, reassign_level="none", task_level=0)
+        s.emit(EventKind.RUN_END)
+        assert verdict_of(self.make(), s.events).ok
+
+    def test_fault_closed_by_ok_reconciles(self):
+        s = Stream()
+        s.emit(EventKind.FLT_INJECT_SLOW_IO, call=3, sleep_s=0.01)
+        s.emit(EventKind.SUP_CALL_OK, call=3)
+        verdict = verdict_of(self.make(), s.events)
+        assert verdict.ok
+        assert verdict.stats["injected_calls"] == 1
+        assert verdict.stats["calls_ok"] == 1
+
+    def test_unclosed_fault_is_a_silent_loss(self):
+        s = Stream()
+        s.emit(EventKind.FLT_INJECT_CRASH, call=5)
+        verdict = verdict_of(self.make(), s.events)
+        assert not verdict.ok
+        assert any("silently lost" in v for v in verdict.violations)
+
+    def test_failed_then_retried_reconciles(self):
+        s = Stream()
+        s.emit(EventKind.FLT_INJECT_CRASH, call=1)
+        s.emit(EventKind.SUP_CALL_FAILED, call=1, op="knn", error="deadline")
+        s.emit(EventKind.SUP_CALL_RETRY, call=1, attempt=1, delay_s=0.02,
+               remaining_s=1.5)
+        s.emit(EventKind.SUP_CALL_OK, call=2)
+        assert verdict_of(self.make(), s.events).ok
+
+    def test_unanswered_failure_violates(self):
+        s = Stream()
+        s.emit(EventKind.SUP_CALL_FAILED, call=4, op="knn", error="deadline")
+        verdict = verdict_of(self.make(), s.events)
+        assert not verdict.ok
+        assert any("never answered" in v for v in verdict.violations)
+
+    def test_retry_without_open_failure_violates(self):
+        s = Stream()
+        s.emit(EventKind.SUP_CALL_RETRY, call=9, attempt=1, delay_s=0.02)
+        verdict = verdict_of(self.make(), s.events)
+        assert not verdict.ok
+        assert any("without an open" in v for v in verdict.violations)
+
+    def test_retry_past_deadline_budget_violates(self):
+        s = Stream()
+        s.emit(EventKind.SUP_CALL_FAILED, call=2, op="windows", error="x")
+        s.emit(EventKind.SUP_CALL_RETRY, call=2, attempt=1, delay_s=0.02,
+               remaining_s=-0.5)
+        verdict = verdict_of(self.make(), s.events)
+        assert not verdict.ok
+        assert any("deadline budget" in v for v in verdict.violations)
+
+    def test_giveup_must_surface(self):
+        s = Stream()
+        s.emit(EventKind.SUP_CALL_FAILED, call=2, op="knn", error="deadline")
+        s.emit(EventKind.SUP_CALL_GIVEUP, call=2, attempts=3, error="deadline")
+        # No SVC_REQUEST_ERROR/TIMEOUT/CANCELLED: the give-up vanished.
+        verdict = verdict_of(self.make(), s.events)
+        assert not verdict.ok
+        assert any("give-up" in v.lower() for v in verdict.violations)
+
+    def test_giveup_surfaced_as_error_reconciles(self):
+        s = Stream()
+        s.emit(EventKind.SUP_CALL_FAILED, call=2, op="knn", error="deadline")
+        s.emit(EventKind.SUP_CALL_GIVEUP, call=2, attempts=3, error="deadline")
+        s.emit(EventKind.SVC_REQUEST_ERROR, cls="knn")
+        assert verdict_of(self.make(), s.events).ok
+
+    def test_corruption_must_be_detected_and_repaired(self):
+        s = Stream()
+        s.emit(EventKind.FLT_INJECT_CORRUPT, proc=0, page=12, bit=5)
+        verdict = verdict_of(self.make(), s.events)
+        assert not verdict.ok
+        repaired = Stream()
+        repaired.emit(EventKind.FLT_INJECT_CORRUPT, proc=0, page=12, bit=5)
+        repaired.emit(EventKind.SUP_PAGE_CORRUPT_DETECTED, proc=0, page=12)
+        repaired.emit(EventKind.SUP_PAGE_REPAIRED, proc=0, page=12)
+        assert verdict_of(self.make(), repaired.events).ok
+
+    def test_repair_of_the_wrong_page_violates(self):
+        s = Stream()
+        s.emit(EventKind.FLT_INJECT_CORRUPT, proc=0, page=12, bit=5)
+        s.emit(EventKind.SUP_PAGE_CORRUPT_DETECTED, proc=0, page=12)
+        s.emit(EventKind.SUP_PAGE_REPAIRED, proc=0, page=99)
+        verdict = verdict_of(self.make(), s.events)
+        assert not verdict.ok
+        assert any("page 12" in v for v in verdict.violations)
+
+    def test_lawful_breaker_cycle_passes(self):
+        s = Stream()
+        s.emit(EventKind.SUP_BREAKER_OPEN, cls="window")
+        s.emit(EventKind.SUP_BREAKER_HALF_OPEN, cls="window")
+        s.emit(EventKind.SUP_BREAKER_OPEN, cls="window")
+        s.emit(EventKind.SUP_BREAKER_HALF_OPEN, cls="window")
+        s.emit(EventKind.SUP_BREAKER_CLOSED, cls="window")
+        verdict = verdict_of(self.make(), s.events)
+        assert verdict.ok
+        assert verdict.stats["breaker_transitions"] == 5
+
+    def test_unlawful_breaker_edge_violates(self):
+        s = Stream()
+        s.emit(EventKind.SUP_BREAKER_CLOSED, cls="window")  # closed->closed?
+        s.emit(EventKind.SUP_BREAKER_HALF_OPEN, cls="knn")  # closed->half-open
+        verdict = verdict_of(self.make(), s.events)
+        assert not verdict.ok
+        assert any("lawful" in v for v in verdict.violations)
+
+    def test_breaker_classes_tracked_independently(self):
+        s = Stream()
+        s.emit(EventKind.SUP_BREAKER_OPEN, cls="window")
+        s.emit(EventKind.SUP_BREAKER_OPEN, cls="knn")
+        assert verdict_of(self.make(), s.events).ok
+
+    def test_disk_seam_slow_io_is_not_call_keyed(self):
+        # Page-keyed SLOW_IO (no "call" field) needs no SUP_CALL closure.
+        s = Stream()
+        s.emit(EventKind.FLT_INJECT_SLOW_IO, proc=1, page=7, factor=4.0)
+        verdict = verdict_of(self.make(), s.events)
+        assert verdict.ok
+        assert verdict.stats["injected_calls"] == 0
