@@ -443,8 +443,9 @@ class Engine:
         retry = self.config.retry
         attempt = 0
         while True:
-            if not breaker.allow():
-                raise CircuitOpenError(cls.value)
+            # Budget check BEFORE consulting the breaker: once allow()
+            # returns True it may hold a half-open probe slot, and an
+            # exit between admission and outcome would leak it.
             timeout_s = self.config.attempt_timeout_s
             if deadline is not None:
                 remaining = deadline - self._now()
@@ -459,31 +460,48 @@ class Engine:
                     remaining if timeout_s is None
                     else min(timeout_s, remaining)
                 )
+            if not breaker.allow():
+                raise CircuitOpenError(cls.value)
+            # The breaker now holds one admission; exactly one of
+            # record_success / record_failure / release must settle it.
+            # release() covers outcome-less exits — the submit-level
+            # wait_for cancelling us while awaiting the pool.
+            failure = None
+            settled = False
             try:
-                value = await self.pool.run(kind, *args, timeout_s=timeout_s)
-            except WorkerError as exc:
-                breaker.record_failure()
-                attempt += 1
-                budget = None if deadline is None else deadline - self._now()
-                delay = retry.next_delay(attempt, self._retry_rng, budget)
-                if delay is None:
-                    self._emit(
-                        EventKind.SUP_CALL_GIVEUP,
-                        cls,
-                        call=exc.call_id,
-                        attempts=attempt,
-                        error=exc.cause_type,
+                try:
+                    value = await self.pool.run(
+                        kind, *args, timeout_s=timeout_s
                     )
-                    raise
-                payload = {"call": exc.call_id, "attempt": attempt,
-                           "delay_s": delay}
-                if budget is not None:
-                    payload["remaining_s"] = budget
-                self._emit(EventKind.SUP_CALL_RETRY, cls, **payload)
-                await asyncio.sleep(delay)
-                continue
-            breaker.record_success()
-            return value
+                except WorkerError as exc:
+                    breaker.record_failure()
+                    settled = True
+                    failure = exc
+                else:
+                    breaker.record_success()
+                    settled = True
+                    return value
+            finally:
+                if not settled:
+                    breaker.release()
+            attempt += 1
+            budget = None if deadline is None else deadline - self._now()
+            delay = retry.next_delay(attempt, self._retry_rng, budget)
+            if delay is None:
+                self._emit(
+                    EventKind.SUP_CALL_GIVEUP,
+                    cls,
+                    call=failure.call_id,
+                    attempts=attempt,
+                    error=failure.cause_type,
+                )
+                raise failure
+            payload = {"call": failure.call_id, "attempt": attempt,
+                       "delay_s": delay}
+            if budget is not None:
+                payload["remaining_s"] = budget
+            self._emit(EventKind.SUP_CALL_RETRY, cls, **payload)
+            await asyncio.sleep(delay)
 
     async def _run_window_group(self, tree_name: str, items: list) -> None:
         """Execute one micro-batch and settle every member's future."""

@@ -135,6 +135,14 @@ class CircuitBreaker:
     up to ``half_open_max`` probe calls: one probe success closes it,
     one probe failure re-opens it.  Transitions are emitted as
     ``SUP_BREAKER_*`` events.
+
+    Every half-open admission granted by :meth:`allow` consumes a probe
+    slot that must be settled by exactly one of :meth:`record_success`,
+    :meth:`record_failure` or :meth:`release` — callers whose attempt
+    ends without an outcome (cancelled mid-flight) call :meth:`release`
+    so the slot returns.  As a backstop, :meth:`allow` reclaims probe
+    slots that have seen no outcome for a full ``reset_timeout_s``, so
+    even a missed release cannot wedge the breaker in HALF_OPEN forever.
     """
 
     CLOSED = "closed"
@@ -167,22 +175,38 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._opened_at = 0.0
         self._probes_inflight = 0
+        self._probe_admitted_at = 0.0
         self.opens = 0
         self.closes = 0
 
     # -- gate ------------------------------------------------------------------
     def allow(self) -> bool:
-        """May one execution proceed right now?"""
+        """May one execution proceed right now?
+
+        A ``True`` in HALF_OPEN consumes a probe slot; the caller must
+        settle it with record_success/record_failure, or release() when
+        the attempt ends with no outcome.
+        """
         if self.state == self.CLOSED:
             return True
+        now = self._clock()
         if self.state == self.OPEN:
-            if self._clock() - self._opened_at >= self.reset_timeout_s:
+            if now - self._opened_at >= self.reset_timeout_s:
                 self._transition(self.HALF_OPEN)
             else:
                 return False
-        # half-open: admit a bounded number of probes
+        # Half-open: admit a bounded number of probes.  Slots whose
+        # outcome never arrived (caller torn down before release) are
+        # reclaimed after a full reset window so the breaker cannot
+        # stay wedged with all probes "in flight" forever.
+        if (
+            self._probes_inflight >= self.half_open_max
+            and now - self._probe_admitted_at >= self.reset_timeout_s
+        ):
+            self._probes_inflight = 0
         if self._probes_inflight < self.half_open_max:
             self._probes_inflight += 1
+            self._probe_admitted_at = now
             return True
         return False
 
@@ -192,6 +216,13 @@ class CircuitBreaker:
             self._probes_inflight = max(0, self._probes_inflight - 1)
             self._transition(self.CLOSED)
         self._consecutive_failures = 0
+
+    def release(self) -> None:
+        """Return an admission that ended without a recordable outcome
+        (the attempt was cancelled before completing) so a half-open
+        probe slot is never leaked."""
+        if self.state == self.HALF_OPEN:
+            self._probes_inflight = max(0, self._probes_inflight - 1)
 
     def record_failure(self) -> None:
         if self.state == self.HALF_OPEN:

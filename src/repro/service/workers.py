@@ -1,10 +1,11 @@
 """Execution backend of the serving engine: forked workers or threads.
 
 The process mode reuses the ``fork``-inherits-trees trick of
-:mod:`repro.join.mp`: the tree registry is parked in a module global
-immediately before the pool forks, so every worker process inherits the
-in-memory R*-trees through copy-on-write — the process-level analogue of
-the paper's shared virtual memory.  Only primitive arguments (tree names,
+:mod:`repro.join.mp`: the tree registry is parked in a module-level
+table (keyed per pool, so several live pools in one process never
+clobber each other) immediately before the pool forks, and every worker
+process inherits the in-memory R*-trees through copy-on-write — the
+process-level analogue of the paper's shared virtual memory.  Only primitive arguments (tree names,
 rect tuples, coordinates) travel to the workers and only oid tuples travel
 back; no tree is ever pickled.
 
@@ -27,6 +28,7 @@ engine's retry layer re-enqueues them.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import multiprocessing
 import os
 import time
@@ -45,10 +47,25 @@ from .resilience import WorkerError
 
 __all__ = ["WorkerPool", "fork_available"]
 
-#: Set by the parent immediately before forking; inherited by workers.
-#: Reset to ``None`` as soon as the pool exists so the parent side does
-#: not carry a second strong reference to every tree.
-_WORK_TREES: Optional[Mapping[str, object]] = None
+#: Tree registries parked by the parent immediately before forking,
+#: keyed per pool so several live pools in one process cannot clobber
+#: each other: a replacement worker auto-forked after a crash re-reads
+#: *its own* pool's entry, never another pool's.  Inherited by workers
+#: through fork (copy-on-write); entries are dropped at pool close.
+_WORK_TREES: dict[int, Mapping[str, object]] = {}
+_POOL_KEYS = itertools.count(1)
+#: Worker-side: which registry entry this worker's pool owns.
+_POOL_KEY: Optional[int] = None
+
+
+def _fork_init(pool_key: int) -> None:
+    """Worker initializer: pin this worker to its pool's tree registry.
+
+    Runs in every worker the pool forks — including replacements it
+    auto-forks after a crash — so the binding survives worker churn.
+    """
+    global _POOL_KEY
+    _POOL_KEY = pool_key
 
 
 def fork_available() -> bool:
@@ -95,7 +112,7 @@ def _fork_call(kind: str, directive: Optional[FaultDirective], args: tuple):
     """
     if directive is not None:
         apply_directive(directive, hard_crash=True)
-    return _EXEC_FNS[kind](_WORK_TREES, *args)
+    return _EXEC_FNS[kind](_WORK_TREES[_POOL_KEY], *args)
 
 
 def _inline_call(
@@ -126,7 +143,14 @@ class WorkerPool:
     ``processes > 0`` asks for that many forked workers; 0 (or a platform
     without ``fork``, with a warning) selects the thread fallback.
     ``injector`` enables fault injection on calls; ``tracer`` receives
-    the ``SUP_CALL_*`` ledger.
+    the ``SUP_CALL_*`` ledger.  ``default_timeout_s`` is the deadline a
+    fork-mode call falls back to when :meth:`run` is given none: a
+    hard-crashed fork never fires its ``apply_async`` callback, and a
+    deadline-less in-flight entry is invisible to the supervisor's
+    :meth:`expire_overdue` sweep — the call would pend forever (and
+    ``Engine.stop`` would deadlock draining it).  Pass ``None`` only if
+    you accept that risk; thread-mode calls always resolve and use the
+    caller's timeout verbatim.
     """
 
     def __init__(
@@ -136,14 +160,19 @@ class WorkerPool:
         *,
         injector: Optional[FaultInjector] = None,
         tracer: Tracer = NULL_TRACER,
+        default_timeout_s: Optional[float] = 30.0,
     ):
         if processes < 0:
             raise ValueError("processes must be >= 0")
+        if default_timeout_s is not None and default_timeout_s <= 0:
+            raise ValueError("default_timeout_s must be positive (or None)")
         self.trees = dict(trees)
         self.requested_processes = processes
         self.injector = injector
         self.tracer = tracer
+        self.default_timeout_s = default_timeout_s
         self._pool = None
+        self._pool_key: Optional[int] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self.forked = False
         self._call_seq = 0
@@ -173,15 +202,22 @@ class WorkerPool:
             )
 
     def _fork_pool(self, processes: int) -> None:
-        global _WORK_TREES
-        # The registry must STAY parked here for the pool's lifetime:
+        # The registry entry must STAY parked for the pool's lifetime:
         # multiprocessing.Pool forks a replacement from the parent each
-        # time a worker dies, and a replacement forked while this is None
+        # time a worker dies, and a replacement forked without the entry
         # would inherit no trees and fail every call it serves.  The
         # parent holds ``self.trees`` anyway, so this costs nothing.
-        _WORK_TREES = self.trees
+        self._pool_key = next(_POOL_KEYS)
+        _WORK_TREES[self._pool_key] = self.trees
         context = multiprocessing.get_context("fork")
-        self._pool = context.Pool(processes)
+        self._pool = context.Pool(
+            processes, initializer=_fork_init, initargs=(self._pool_key,)
+        )
+
+    def _release_trees(self) -> None:
+        if self._pool_key is not None:
+            _WORK_TREES.pop(self._pool_key, None)
+            self._pool_key = None
 
     def restart(self) -> int:
         """Tear down the forked pool and re-fork it from the tree registry.
@@ -197,6 +233,7 @@ class WorkerPool:
         dead, self._pool = self._pool, None
         dead.terminate()
         dead.join()
+        self._release_trees()
         self._fork_pool(self.requested_processes)
         self.restarts += 1
         if self.tracer.enabled:
@@ -227,15 +264,13 @@ class WorkerPool:
         request by the time it closes the pool, so nothing of value is
         lost.
         """
-        global _WORK_TREES
         loop = asyncio.get_running_loop()
         if self._pool is not None:
             pool = self._pool
             self._pool = None
             pool.terminate()
             await loop.run_in_executor(None, pool.join)
-            if _WORK_TREES is self.trees:
-                _WORK_TREES = None
+            self._release_trees()
         if self._executor is not None:
             executor = self._executor
             self._executor = None
@@ -296,6 +331,12 @@ class WorkerPool:
         """
         if kind not in _EXEC_FNS:
             raise KeyError(f"unknown execution kind {kind!r}")
+        if timeout_s is None and self._pool is not None:
+            # Fork-mode calls always carry a deadline: a hard-crashed
+            # worker never fires the apply_async callback, and without
+            # a deadline neither the timer below nor the supervisor's
+            # expire_overdue sweep could ever resolve the future.
+            timeout_s = self.default_timeout_s
         loop = asyncio.get_running_loop()
         call_id = self._call_seq
         self._call_seq += 1

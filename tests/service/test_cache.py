@@ -195,3 +195,83 @@ class TestStaleness:
         cache, _ = self.make(keep_stale=True)
         cache.get_stale("a")
         assert cache.stats()["stale_hits"] == 1
+
+
+class TestStaleRetentionBound:
+    """``keep_stale`` must not let long-dead entries squat on capacity:
+    past the ``stale_ttl_s`` retention bound (default 4 × ttl) an
+    expired entry is dropped on any touch and purged from the LRU front
+    on insert, counted as a ``stale_eviction``."""
+
+    def make(self, **kwargs):
+        clock = FakeClock()
+        kwargs.setdefault("capacity", 4)
+        kwargs.setdefault("ttl_s", 10.0)
+        cache = ResultCache(keep_stale=True, clock=clock, **kwargs)
+        return cache, clock
+
+    def test_default_bound_is_four_ttls(self):
+        cache, _ = self.make()
+        assert cache.stale_ttl_s == pytest.approx(40.0)
+        no_ttl = ResultCache(capacity=4, keep_stale=True)
+        assert no_ttl.stale_ttl_s is None
+
+    def test_get_stale_refuses_entries_past_the_bound(self):
+        cache, clock = self.make(stale_ttl_s=5.0)
+        cache.put("a", 1)
+        clock.advance(14.0)  # expired 4s ago: within the bound
+        assert cache.get_stale("a") == 1
+        clock.advance(2.0)  # expired 6s ago: beyond it
+        assert cache.get_stale("a") is MISS
+        assert cache.stale_evictions == 1
+        assert len(cache) == 0
+
+    def test_get_drops_dead_entries(self):
+        cache, clock = self.make(stale_ttl_s=5.0)
+        cache.put("a", 1)
+        clock.advance(16.0)
+        assert cache.get("a") is MISS
+        assert cache.expirations == 1
+        assert cache.stale_evictions == 1
+        assert len(cache) == 0
+
+    def test_put_purges_dead_entries_from_the_lru_front(self):
+        cache, clock = self.make(stale_ttl_s=5.0, capacity=8)
+        for key in ("a", "b", "c"):
+            cache.put(key, key)
+        clock.advance(16.0)  # all three long dead
+        cache.put("d", 4)
+        assert cache.stale_evictions == 3
+        assert len(cache) == 1
+
+    def test_dead_entries_do_not_force_out_fresh_ones(self):
+        """The churn scenario the bound exists for: dead-stale entries
+        must never make a *live* entry pay the eviction."""
+        cache, clock = self.make(stale_ttl_s=5.0, capacity=4)
+        for key in ("a", "b", "c", "d"):
+            cache.put(key, key)
+        clock.advance(16.0)  # all dead
+        for key in ("e", "f", "g", "h"):
+            cache.put(key, key)
+        assert cache.evictions == 0
+        assert cache.stale_evictions == 4
+        assert all(cache.get(k) == k for k in ("e", "f", "g", "h"))
+
+    def test_counted_stale_lru_victim_is_not_double_counted(self):
+        """An entry already counted as an expiration must not also count
+        as an eviction when LRU removes it — that would break the
+        checker's ``evictions + expirations <= inserts`` ledger."""
+        cache, clock = self.make(capacity=2)  # default bound: stays stale
+        cache.put("a", 1)
+        clock.advance(11.0)
+        assert cache.get("a") is MISS  # counts the expiration
+        cache.put("b", 2)
+        cache.put("c", 3)  # capacity claims "a"
+        assert cache.expirations == 1
+        assert cache.evictions == 0
+        assert cache.stale_evictions == 1
+        assert cache.stats()["stale_evictions"] == 1
+
+    def test_invalid_stale_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(ttl_s=10.0, keep_stale=True, stale_ttl_s=-1.0)

@@ -17,6 +17,7 @@ from repro.service import (
     RetryPolicy,
     Status,
     WindowRequest,
+    WorkerError,
 )
 from repro.trace import EventKind, ListSink, run_checkers, service_checkers
 
@@ -177,6 +178,46 @@ class TestCircuitBreaker:
         verdicts = run_checkers(sink.events, service_checkers())
         assert all(v.ok for v in verdicts)
 
+    def test_release_returns_the_probe_slot(self):
+        """An admission whose attempt is cancelled (no success/failure
+        recorded) must not consume the half-open probe slot forever."""
+        clock = FakeClock()
+        breaker = self.make(clock, half_open_max=1)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()  # the probe... whose awaiter is cancelled
+        assert not breaker.allow()
+        breaker.release()
+        assert breaker.allow()  # slot is back; breaker not wedged
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_release_is_noop_when_closed(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        breaker.release()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_stuck_half_open_probe_is_reclaimed_after_reset_window(self):
+        """Backstop: even if release() is never called, a probe slot with
+        no outcome for a full reset_timeout_s is reclaimed rather than
+        wedging the breaker in HALF_OPEN permanently."""
+        clock = FakeClock()
+        breaker = self.make(clock, half_open_max=1, reset_timeout_s=1.0)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()  # probe leaks: no outcome, no release
+        assert not breaker.allow()
+        clock.advance(0.5)
+        assert not breaker.allow()  # within the reset window: still held
+        clock.advance(0.6)
+        assert breaker.allow()  # reclaimed
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
     def test_snapshot(self):
         clock = FakeClock()
         breaker = self.make(clock)
@@ -313,3 +354,72 @@ class TestDegradedModes:
         assert probe.ok
         assert after.ok
         assert states[RequestClass.WINDOW.value] == CircuitBreaker.CLOSED
+
+    def test_exhausted_deadline_does_not_leak_the_probe_slot(self, workload):
+        """Regression: the budget-exhausted WorkerError used to fire
+        *after* breaker.allow() had consumed the half-open probe slot,
+        wedging the breaker in HALF_OPEN for good (every later request
+        shed until restart).  The budget check now runs first."""
+        trees, side = workload
+        config = EngineConfig(
+            workers=0, cache_capacity=0, breaker_reset_s=0.05,
+        )
+        window = Rect(0, 0, side / 4, side / 4)
+
+        async def main():
+            async with Engine(trees, config) as engine:
+                breaker = engine.breakers[RequestClass.WINDOW]
+                for _ in range(breaker.failure_threshold):
+                    breaker.record_failure()
+                await asyncio.sleep(0.1)  # past the reset timeout
+                # A request arriving with its deadline already spent
+                # fails typed — and must not take the probe slot.
+                with pytest.raises(WorkerError):
+                    await engine._execute_with_retry(
+                        RequestClass.WINDOW,
+                        "windows",
+                        ("map1", [tuple(window)]),
+                        deadline=engine._now() - 1.0,
+                    )
+                probe = await engine.submit(WindowRequest("map1", window))
+                return probe, breaker.state
+
+        probe, state = asyncio.run(main())
+        assert probe.ok
+        assert state == CircuitBreaker.CLOSED
+
+    def test_cancelled_probe_releases_the_slot(self, workload):
+        """Regression: cancelling the submit-level wait while the probe
+        attempt is in flight used to leak the slot (no success, no
+        failure); the attempt's finally-release returns it."""
+        trees, side = workload
+        config = EngineConfig(
+            workers=0, cache_capacity=0, breaker_reset_s=0.05,
+            batching=False,
+        )
+        window = Rect(0, 0, side / 4, side / 4)
+
+        async def main():
+            async with Engine(trees, config) as engine:
+                breaker = engine.breakers[RequestClass.WINDOW]
+                for _ in range(breaker.failure_threshold):
+                    breaker.record_failure()
+                await asyncio.sleep(0.1)  # half-open on next allow()
+                task = asyncio.ensure_future(
+                    engine._execute_with_retry(
+                        RequestClass.WINDOW,
+                        "windows",
+                        ("map1", [tuple(window)]),
+                        deadline=None,
+                    )
+                )
+                await asyncio.sleep(0)  # let it take the probe slot
+                task.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await task
+                probe = await engine.submit(WindowRequest("map1", window))
+                return probe, breaker.state
+
+        probe, state = asyncio.run(main())
+        assert probe.ok
+        assert state == CircuitBreaker.CLOSED

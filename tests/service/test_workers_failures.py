@@ -140,6 +140,72 @@ class TestForkModeFailures:
         assert elapsed < 10
         assert injector.crashes == 1
 
+    def test_crashed_worker_without_timeout_uses_pool_default(self, trees):
+        """Regression: with ``timeout_s=None`` a hard-crashed fork never
+        fires its apply_async callback and the deadline sweep skips
+        deadline-less entries — the call pended forever (and a draining
+        engine deadlocked behind it).  Fork-mode calls now fall back to
+        the pool-level default deadline."""
+        plan = FaultPlan(seed=3, worker_crash_p=1.0)
+        injector = FaultInjector(plan)
+
+        async def body(pool):
+            started = time.monotonic()
+            with pytest.raises(WorkerError) as info:
+                await pool.run("knn", "map1", 0.5, 0.5, 3)  # no timeout
+            return info.value, time.monotonic() - started
+
+        error, elapsed = run_pool(
+            trees, 2, body, injector=injector, default_timeout_s=0.5
+        )
+        assert error.cause_type == "deadline"
+        assert elapsed < 10
+
+    def test_two_live_pools_keep_their_own_registries(self, trees):
+        """Regression: the tree registry used to be a single module
+        global, so a second pool's start() clobbered the first's — a
+        replacement worker auto-forked by pool A after a crash inherited
+        pool B's trees and failed every call it served."""
+        _, map2 = paper_maps(scale=0.01)
+        trees_b = {"map2": build_tree(map2)}
+        # Crash pool A's worker mid-call (os._exit, like a segfault —
+        # an idle SIGKILL would die holding the pool's queue lock and
+        # wedge the whole pool, which is not the scenario under test).
+        plan = FaultPlan(seed=4, worker_crash_p=1.0)
+
+        async def main():
+            pool_a = WorkerPool(trees, 1, injector=FaultInjector(plan))
+            pool_b = WorkerPool(trees_b, 1)
+            pool_a.start()
+            pool_b.start()  # parks its registry next to pool A's
+            try:
+                victims = pool_a.worker_pids()
+                with pytest.raises(WorkerError):
+                    await pool_a.run(
+                        "knn", "map1", 0.5, 0.5, 3, timeout_s=0.5
+                    )
+                pool_a.injector = None  # healthy from here on
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    pids = pool_a.worker_pids()
+                    if pids and pids.isdisjoint(victims):
+                        break
+                    await asyncio.sleep(0.05)
+                a = await pool_a.run(
+                    "knn", "map1", 0.5, 0.5, 3, timeout_s=5.0
+                )
+                b = await pool_b.run(
+                    "knn", "map2", 0.5, 0.5, 3, timeout_s=5.0
+                )
+                return a, b
+            finally:
+                await pool_a.close()
+                await pool_b.close()
+
+        a, b = asyncio.run(main())
+        assert len(a) == 3
+        assert len(b) == 3
+
     def test_restart_fails_inflight_and_recovers(self, trees):
         async def body(pool):
             pids_before = pool.worker_pids()
