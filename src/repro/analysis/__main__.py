@@ -1,0 +1,215 @@
+"""``python -m repro.analysis`` — the analysis gate.
+
+Subcommands
+-----------
+``lint``      run the AST rules over source paths
+``races``     run the trace race detector over a recorded JSONL trace
+``external``  run the gated off-the-shelf tools (ruff, mypy)
+``all``       everything under one gate: lint + external + races; when no
+              ``--trace`` is given, a short traced GSRR simulation run is
+              generated on the fly so the race smoke test is self-contained
+
+Exit codes: **0** — gate passes (no unbaselined errors); **1** — new
+errors; **2** — the analysis itself failed.  Warnings never gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+from . import external
+from .findings import (
+    Report,
+    diff_against_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .lint import run_lint
+from .races import detect_races
+
+DEFAULT_PATHS = ["src/repro"]
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-aware static analysis and trace race detection.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--json",
+            metavar="FILE",
+            default=None,
+            help="also write the full JSON report to FILE",
+        )
+
+    lint = sub.add_parser("lint", help="run the AST lint rules")
+    lint.add_argument("paths", nargs="*", default=None)
+    lint.add_argument("--baseline", default=None, metavar="FILE")
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current error findings as the new baseline",
+    )
+    lint.add_argument(
+        "--select", default=None, help="comma-separated rule ids to run"
+    )
+    common(lint)
+
+    races = sub.add_parser("races", help="run the trace race detector")
+    races.add_argument("--trace", required=True, metavar="JSONL")
+    races.add_argument(
+        "--explain",
+        action="store_true",
+        help="attach the conflicting access histories to each race",
+    )
+    common(races)
+
+    ext = sub.add_parser("external", help="run ruff/mypy when installed")
+    ext.add_argument("paths", nargs="*", default=None)
+    common(ext)
+
+    everything = sub.add_parser("all", help="lint + external + races gate")
+    everything.add_argument("paths", nargs="*", default=None)
+    everything.add_argument("--baseline", default=None, metavar="FILE")
+    everything.add_argument("--write-baseline", action="store_true")
+    everything.add_argument(
+        "--trace",
+        default=None,
+        metavar="JSONL",
+        help="race-check this trace instead of generating a fresh one",
+    )
+    everything.add_argument("--explain", action="store_true")
+    everything.add_argument(
+        "--no-races",
+        action="store_true",
+        help="skip the race smoke test (lint/external only)",
+    )
+    common(everything)
+    return parser
+
+
+def _resolve_paths(raw) -> list[str]:
+    if raw:
+        return list(raw)
+    for candidate in DEFAULT_PATHS:
+        if Path(candidate).exists():
+            return [candidate]
+    return ["."]
+
+
+def _resolve_baseline(raw) -> str | None:
+    if raw is not None:
+        return raw
+    return DEFAULT_BASELINE if Path(DEFAULT_BASELINE).exists() else None
+
+
+def _generate_trace(path: Path) -> None:
+    """Run a short traced GSRR join so the race gate has a real trace."""
+    from ..datagen import build_tree, paper_maps
+    from ..join import GSRR, ParallelJoinConfig, parallel_spatial_join, prepare_trees
+    from ..trace import TraceConfig
+
+    map_r, map_s = paper_maps(scale=0.02)
+    tree_r, tree_s = build_tree(map_r), build_tree(map_s)
+    page_store = prepare_trees(tree_r, tree_s)
+    config = ParallelJoinConfig(
+        processors=4,
+        disks=4,
+        total_buffer_pages=96,
+        variant=GSRR,
+        trace=TraceConfig(keep_events=False, checkers=False, jsonl_path=str(path)),
+    )
+    parallel_spatial_join(tree_r, tree_s, config, page_store=page_store)
+
+
+def _run_lint_into(report: Report, paths, select=None) -> None:
+    findings, stats = run_lint(paths, select=select)
+    report.extend(findings)
+    report.tool_status["lint"] = (
+        f"ok: {stats['files']} file(s), {stats['rules']} rule(s), "
+        f"{len(findings)} finding(s)"
+    )
+
+
+def _run_external_into(report: Report, paths) -> None:
+    for name, runner in (("ruff", external.run_ruff), ("mypy", external.run_mypy)):
+        findings, status = runner(paths)
+        report.extend(findings)
+        report.tool_status[name] = status
+
+
+def _run_races_into(report: Report, trace: str, explain: bool) -> None:
+    findings, stats = detect_races(trace, explain=explain)
+    report.extend(findings)
+    report.tool_status["races"] = (
+        f"ok: {stats['events']} event(s), {stats['mode']} mode, "
+        f"{stats['pages']} page(s), {stats['races']} race finding(s)"
+    )
+
+
+def _finish(report: Report, args) -> int:
+    baseline_path = getattr(args, "baseline", None)
+    if getattr(args, "write_baseline", False):
+        target = baseline_path or DEFAULT_BASELINE
+        write_baseline(report.findings, target)
+        report.baseline_path = target
+        print(f"baseline written: {target}")
+        print(report.render())
+        return 0
+    resolved = _resolve_baseline(baseline_path) if hasattr(args, "baseline") else None
+    if resolved is not None:
+        baseline = load_baseline(resolved)
+        report.baseline_path = resolved
+        report.new_errors, report.baselined = diff_against_baseline(
+            report.findings, baseline
+        )
+    else:
+        report.new_errors, report.baselined = diff_against_baseline(
+            report.findings, {}
+        )
+    if args.json:
+        report.write_json(args.json)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def main(argv=None) -> int:
+    args = _parser().parse_args(argv)
+    report = Report()
+    try:
+        if args.command == "lint":
+            select = args.select.split(",") if args.select else None
+            _run_lint_into(report, _resolve_paths(args.paths), select=select)
+        elif args.command == "races":
+            _run_races_into(report, args.trace, args.explain)
+        elif args.command == "external":
+            _run_external_into(report, _resolve_paths(args.paths))
+        elif args.command == "all":
+            paths = _resolve_paths(args.paths)
+            _run_lint_into(report, paths)
+            _run_external_into(report, paths)
+            if not args.no_races:
+                if args.trace is not None:
+                    _run_races_into(report, args.trace, args.explain)
+                else:
+                    with tempfile.TemporaryDirectory() as tmp:
+                        trace_path = Path(tmp) / "sim-trace.jsonl"
+                        _generate_trace(trace_path)
+                        _run_races_into(report, str(trace_path), args.explain)
+                        # keep the report path stable across runs
+                        report.tool_status["races"] += " (generated run)"
+    except Exception as exc:  # noqa: BLE001 - the gate must report, not crash
+        print(f"analysis failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+    return _finish(report, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Gated wrappers for the off-the-shelf analyzers (ruff, mypy).
+
+The container this repo runs in does not necessarily ship either tool,
+and installing dependencies is out of scope — so both wrappers probe for
+the module first and report ``skipped: not installed`` in the tool
+status instead of failing.  When a tool *is* present it runs with the
+configuration from ``pyproject.toml`` (strict on ``repro.analysis``,
+permissive elsewhere) and its diagnostics are folded into the shared
+findings model.
+
+External findings are **warnings**, never errors: the custom rules in
+:mod:`repro.analysis.rules` are the gate, and a gate must not depend on
+which optional tools happen to be installed on the machine running it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import Sequence, Union
+
+from .findings import Finding, Severity
+
+__all__ = ["run_ruff", "run_mypy", "available"]
+
+_MYPY_LINE = re.compile(
+    r"^(?P<path>[^:]+):(?P<line>\d+):(?:\d+:)?\s*"
+    r"(?P<level>error|warning|note):\s*(?P<message>.*)$"
+)
+
+
+def available(module: str) -> bool:
+    """Is *module* importable without importing it?"""
+    try:
+        return importlib.util.find_spec(module) is not None
+    except (ImportError, ValueError):
+        return False
+
+
+def run_ruff(
+    paths: Sequence[Union[str, Path]]
+) -> tuple[list[Finding], str]:
+    """Run ruff if installed; returns ``(findings, status)``."""
+    if not available("ruff"):
+        return [], "skipped: ruff not installed"
+    command = [
+        sys.executable,
+        "-m",
+        "ruff",
+        "check",
+        "--output-format",
+        "json",
+        *[str(p) for p in paths],
+    ]
+    try:
+        proc = subprocess.run(
+            command, capture_output=True, text=True, timeout=300
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        return [], f"failed: {exc}"
+    findings: list[Finding] = []
+    try:
+        diagnostics = json.loads(proc.stdout or "[]")
+    except json.JSONDecodeError:
+        return [], f"failed: unparseable output (exit {proc.returncode})"
+    for diag in diagnostics:
+        findings.append(
+            Finding(
+                tool="ruff",
+                rule=str(diag.get("code") or "RUFF"),
+                severity=Severity.WARNING,
+                path=str(diag.get("filename", "?")),
+                line=int((diag.get("location") or {}).get("row", 0)),
+                message=str(diag.get("message", "")),
+            )
+        )
+    return findings, f"ok: {len(findings)} diagnostic(s)"
+
+
+def run_mypy(
+    paths: Sequence[Union[str, Path]]
+) -> tuple[list[Finding], str]:
+    """Run mypy if installed; returns ``(findings, status)``."""
+    if not available("mypy"):
+        return [], "skipped: mypy not installed"
+    command = [
+        sys.executable,
+        "-m",
+        "mypy",
+        "--no-error-summary",
+        *[str(p) for p in paths],
+    ]
+    try:
+        proc = subprocess.run(
+            command, capture_output=True, text=True, timeout=600
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        return [], f"failed: {exc}"
+    findings: list[Finding] = []
+    for line in (proc.stdout or "").splitlines():
+        match = _MYPY_LINE.match(line.strip())
+        if match is None or match.group("level") == "note":
+            continue
+        findings.append(
+            Finding(
+                tool="mypy",
+                rule="MYPY",
+                severity=Severity.WARNING,
+                path=match.group("path"),
+                line=int(match.group("line")),
+                message=match.group("message"),
+            )
+        )
+    return findings, f"ok: {len(findings)} diagnostic(s)"

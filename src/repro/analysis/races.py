@@ -1,0 +1,416 @@
+"""Dynamic race detection over recorded SVM simulation traces.
+
+The global buffer of section 3.2 relies on one invariant — *a page
+occurs at most once in one of the local buffers* — maintained by a
+latched directory protocol (:mod:`repro.buffer.global_buffer`).  This
+module replays a recorded JSONL trace and checks that the protocol
+actually held, with two complementary analyses:
+
+**Happens-before + lockset.**  Every processor gets a vector clock,
+advanced per event.  Directory operations (``PAGE_REGISTERED``,
+``PAGE_DEREGISTERED``, ``REMOTE_FETCH``) are emitted under the directory
+latch, so they acquire-and-release a latch clock — the release/acquire
+edges of the protocol.  A ``BUFFER_INSERT`` in global mode joins the
+latch clock too, standing in for the (unlogged) latched load claim that
+precedes every disk read.  Page-copy accesses — ``BUFFER_INSERT`` and
+``BUFFER_EVICT`` as writes, ``BUFFER_HIT(source=lru)`` and
+``REMOTE_FETCH`` as reads — are then checked FastTrack-style: two
+conflicting accesses that are neither happens-before ordered nor guarded
+by a common lock are a race.  Unordered **write/write** access is an
+error; unordered **read/write** access is a warning, because the
+protocol has one *known, benign* window (an owner's eviction racing a
+remote copy already admitted by the directory) that the paper's model
+tolerates.
+
+**Directory state machine.**  Independently of clocks, the owner map is
+replayed: a registration that silently overwrites a live owner is a
+**lost update** (the old owner's copy becomes untracked), a second
+``BUFFER_INSERT`` while another processor's copy is live breaks
+**at-most-once residency**, and a ``PAGE_DEREGISTERED`` by a stale owner
+drops a newer registration.  These cannot occur when the latch
+discipline holds, so each is an error.
+
+Traces of the purely local variant (``lsr``) contain no directory events;
+page copies are then private per processor and the page analysis is
+skipped entirely (multi-residency is legitimate there).
+
+``--explain`` mode keeps a short ring buffer of each processor's recent
+events and attaches the two conflicting access histories to every race
+finding.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from ..trace.events import EventKind, TraceEvent
+from ..trace.sinks import read_jsonl
+from .findings import Finding, Severity
+
+__all__ = ["RaceDetector", "detect_races"]
+
+#: The single latch every directory operation runs under.
+_DIRECTORY_LATCH = "global-directory"
+
+#: Events emitted inside (or at the release point of) the directory
+#: latch's critical section.
+_LATCH_EVENTS = frozenset(
+    {
+        EventKind.PAGE_REGISTERED,
+        EventKind.PAGE_DEREGISTERED,
+        EventKind.REMOTE_FETCH,
+    }
+)
+
+#: Any of these in a trace means the run used the global buffer.
+_DIRECTORY_MARKERS = _LATCH_EVENTS | {EventKind.LOAD_WAIT}
+
+_EXPLAIN_DEPTH = 8
+
+
+def _merge(into: dict[int, int], other: dict[int, int]) -> None:
+    for proc, clock in other.items():
+        if into.get(proc, 0) < clock:
+            into[proc] = clock
+
+
+@dataclass(frozen=True)
+class _Access:
+    """One recorded page/directory access for conflict checking."""
+
+    proc: int
+    epoch: int  # this proc's clock component at access time
+    lockset: frozenset[str]
+    seq: int
+    time: float
+    kind: str
+    history: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        return (
+            f"proc {self.proc} {self.kind} at t={self.time:.6f} "
+            f"(event #{self.seq})"
+        )
+
+
+@dataclass
+class _Location:
+    """Last-access state of one shared location (FastTrack-style)."""
+
+    last_write: Optional[_Access] = None
+    last_reads: dict[int, _Access] = field(default_factory=dict)
+
+
+class RaceDetector:
+    """Replays one trace; collects race findings.
+
+    Usable as a trace sink (``handle``), but analysis is two-pass —
+    events are buffered and examined in :meth:`finish`, because the
+    buffer mode (global vs local) is a whole-trace property.
+    """
+
+    def __init__(self, source: str = "<trace>", explain: bool = False):
+        self.source = source
+        self.explain = explain
+        self.events: list[TraceEvent] = []
+        self.findings: list[Finding] = []
+        self.stats: dict = {}
+        # analysis state (built in finish)
+        self._clocks: dict[int, dict[int, int]] = {}
+        self._latch_clock: dict[int, int] = {}
+        self._pages: dict[int, _Location] = {}
+        self._dir_slots: dict[int, _Location] = {}
+        self._owner: dict[int, int] = {}
+        self._resident: dict[int, int] = {}  # page -> proc with live copy
+        self._history: dict[int, deque] = {}
+        self._reported: set[tuple] = set()
+
+    # -- sink protocol ---------------------------------------------------------
+    def feed(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    handle = feed
+
+    # -- analysis --------------------------------------------------------------
+    def finish(self) -> list[Finding]:
+        global_mode = any(e.kind in _DIRECTORY_MARKERS for e in self.events)
+        for event in self.events:
+            if event.proc < 0:
+                continue
+            self._step(event, global_mode)
+        self.stats = {
+            "events": len(self.events),
+            "mode": "global" if global_mode else "local",
+            "pages": len(self._pages),
+            "races": len(self.findings),
+        }
+        return self.findings
+
+    def _step(self, event: TraceEvent, global_mode: bool) -> None:
+        proc = event.proc
+        clock = self._clocks.setdefault(proc, {})
+        clock[proc] = clock.get(proc, 0) + 1
+
+        kind = event.kind
+        page = event.data.get("page")
+
+        if kind in _LATCH_EVENTS:
+            # Acquire: everything released at the latch happened-before us.
+            _merge(clock, self._latch_clock)
+        elif kind is EventKind.BUFFER_INSERT and global_mode:
+            # The latched load claim that preceded this disk read is not
+            # logged; the insert inherits its release/acquire edge.
+            _merge(clock, self._latch_clock)
+
+        if not global_mode:
+            # Local-only buffers: page copies are private per processor,
+            # nothing here is a shared location.
+            self._remember(event)
+            return
+
+        if page is not None:
+            page = int(page)
+            if kind is EventKind.PAGE_REGISTERED:
+                self._check_register(event, page)
+                self._write(self._dir_slot(page), event, page, latched=True)
+                self._owner[page] = proc
+                self._resident[page] = proc
+                self._write(self._page(page), event, page, latched=True)
+            elif kind is EventKind.PAGE_DEREGISTERED:
+                self._check_deregister(event, page)
+                self._write(self._dir_slot(page), event, page, latched=True)
+                self._owner.pop(page, None)
+            elif kind is EventKind.REMOTE_FETCH:
+                self._read(self._page(page), event, page, latched=True)
+            elif kind is EventKind.BUFFER_INSERT:
+                self._check_insert(event, page)
+                self._write(self._page(page), event, page, latched=False)
+                self._resident[page] = proc
+            elif kind is EventKind.BUFFER_EVICT:
+                self._write(self._page(page), event, page, latched=False)
+                if self._resident.get(page) == proc:
+                    del self._resident[page]
+            elif kind is EventKind.BUFFER_HIT:
+                if event.data.get("source") == "lru":
+                    self._read(self._page(page), event, page, latched=False)
+
+        if kind in _LATCH_EVENTS:
+            # Release: publish our knowledge to the next latch holder.
+            _merge(self._latch_clock, clock)
+
+        self._remember(event)
+
+    # -- directory state machine ----------------------------------------------
+    def _check_register(self, event: TraceEvent, page: int) -> None:
+        owner = self._owner.get(page)
+        if owner is not None and owner != event.proc:
+            self._state_finding(
+                "race-lost-update",
+                event,
+                page,
+                f"page {page}: proc {event.proc} registered while proc "
+                f"{owner} was still the registered owner — the old "
+                f"registration is silently overwritten and proc {owner}'s "
+                f"copy becomes untracked (lost update)",
+                other_proc=owner,
+            )
+
+    def _check_deregister(self, event: TraceEvent, page: int) -> None:
+        owner = self._owner.get(page)
+        if owner is not None and owner != event.proc:
+            self._state_finding(
+                "race-lost-update",
+                event,
+                page,
+                f"page {page}: proc {event.proc} deregistered an entry "
+                f"currently owned by proc {owner} — a stale eviction "
+                f"dropped a newer registration",
+                other_proc=owner,
+            )
+
+    def _check_insert(self, event: TraceEvent, page: int) -> None:
+        holder = self._resident.get(page)
+        if holder is not None and holder != event.proc:
+            self._state_finding(
+                "race-double-residency",
+                event,
+                page,
+                f"page {page}: proc {event.proc} inserted a local copy "
+                f"while proc {holder}'s copy is still resident — the "
+                f"global buffer's at-most-once invariant is broken",
+                other_proc=holder,
+            )
+
+    def _state_finding(
+        self,
+        rule: str,
+        event: TraceEvent,
+        page: int,
+        message: str,
+        other_proc: int,
+    ) -> None:
+        key = (rule, page, min(event.proc, other_proc), max(event.proc, other_proc))
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        context = []
+        if self.explain:
+            context = self._explain_pair(
+                f"proc {event.proc} at event #{event.seq}",
+                self._snapshot(event.proc),
+                f"proc {other_proc} (conflicting side)",
+                self._snapshot(other_proc),
+            )
+        self.findings.append(
+            Finding(
+                tool="races",
+                rule=rule,
+                severity=Severity.ERROR,
+                path=self.source,
+                line=0,
+                message=message,
+                context=tuple(context),
+            )
+        )
+
+    # -- happens-before / lockset ---------------------------------------------
+    def _page(self, page: int) -> _Location:
+        return self._pages.setdefault(page, _Location())
+
+    def _dir_slot(self, page: int) -> _Location:
+        return self._dir_slots.setdefault(page, _Location())
+
+    def _access(self, event: TraceEvent, latched: bool) -> _Access:
+        lockset = frozenset({_DIRECTORY_LATCH}) if latched else frozenset()
+        clock = self._clocks[event.proc]
+        return _Access(
+            proc=event.proc,
+            epoch=clock[event.proc],
+            lockset=lockset,
+            seq=event.seq,
+            time=event.time,
+            kind=event.kind.value,
+            history=self._snapshot(event.proc) if self.explain else (),
+        )
+
+    def _ordered_before(self, access: _Access, proc: int) -> bool:
+        """Did *access* happen-before *proc*'s current point?"""
+        return self._clocks[proc].get(access.proc, 0) >= access.epoch
+
+    def _write(
+        self, location: _Location, event: TraceEvent, page: int, latched: bool
+    ) -> None:
+        access = self._access(event, latched)
+        previous = location.last_write
+        if previous is not None:
+            self._check_conflict(previous, access, page, prev_is_write=True)
+        for read in location.last_reads.values():
+            if read.proc != access.proc:
+                self._check_conflict(read, access, page, prev_is_write=False)
+        location.last_write = access
+        location.last_reads = {}
+
+    def _read(
+        self, location: _Location, event: TraceEvent, page: int, latched: bool
+    ) -> None:
+        access = self._access(event, latched)
+        previous = location.last_write
+        if previous is not None:
+            self._check_conflict(previous, access, page, prev_is_write=True)
+        location.last_reads[access.proc] = access
+
+    def _check_conflict(
+        self, earlier: _Access, later: _Access, page: int, prev_is_write: bool
+    ) -> None:
+        if earlier.proc == later.proc:
+            return
+        if earlier.lockset & later.lockset:
+            return  # a common lock serialises them
+        if self._ordered_before(earlier, later.proc):
+            return  # happens-before ordered
+        later_is_write = later.kind in ("buffer_insert", "buffer_evict",
+                                        "page_registered", "page_deregistered")
+        write_write = prev_is_write and later_is_write
+        rule = "race-write-write" if write_write else "race-read-write"
+        key = (rule, page, min(earlier.proc, later.proc),
+               max(earlier.proc, later.proc))
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        flavour = "write/write" if write_write else "read/write"
+        message = (
+            f"page {page}: unsynchronized {flavour} access — "
+            f"{earlier.describe()} and {later.describe()} are neither "
+            f"ordered by happens-before nor guarded by a common lock"
+        )
+        context = []
+        if self.explain:
+            context = self._explain_pair(
+                earlier.describe(), earlier.history,
+                later.describe(), later.history,
+            )
+        self.findings.append(
+            Finding(
+                tool="races",
+                rule=rule,
+                severity=Severity.ERROR if write_write else Severity.WARNING,
+                path=self.source,
+                line=0,
+                message=message,
+                context=tuple(context),
+            )
+        )
+
+    # -- explain support -------------------------------------------------------
+    def _remember(self, event: TraceEvent) -> None:
+        if not self.explain:
+            return
+        ring = self._history.setdefault(
+            event.proc, deque(maxlen=_EXPLAIN_DEPTH)
+        )
+        inner = " ".join(f"{k}={v}" for k, v in event.data.items())
+        ring.append(
+            f"#{event.seq} t={event.time:.6f} {event.kind.value}"
+            + (f" {inner}" if inner else "")
+        )
+
+    def _snapshot(self, proc: int) -> tuple[str, ...]:
+        return tuple(self._history.get(proc, ()))
+
+    @staticmethod
+    def _explain_pair(
+        label_a: str,
+        history_a: tuple[str, ...],
+        label_b: str,
+        history_b: tuple[str, ...],
+    ) -> list[str]:
+        lines = [f"access A: {label_a}"]
+        lines.extend(f"  | {entry}" for entry in history_a)
+        lines.append(f"access B: {label_b}")
+        lines.extend(f"  | {entry}" for entry in history_b)
+        return lines
+
+
+def detect_races(
+    trace: Union[str, Path, Iterable[TraceEvent]],
+    explain: bool = False,
+) -> tuple[list[Finding], dict]:
+    """Run the race detector over a JSONL trace file or event list.
+
+    Returns ``(findings, stats)``; ``stats`` records event count, the
+    detected buffer mode and the number of distinct pages touched.
+    """
+    if isinstance(trace, (str, Path)):
+        source = str(trace)
+        events = read_jsonl(trace)
+    else:
+        source = "<memory>"
+        events = list(trace)
+    detector = RaceDetector(source=source, explain=explain)
+    for event in events:
+        detector.feed(event)
+    findings = detector.finish()
+    return findings, detector.stats

@@ -126,7 +126,7 @@ def multiprocessing_join(
             bounds.append((start, start + size))
         start += size
 
-    _WORK = (tasks, geometry_r, geometry_s)
+    _WORK = (tasks, geometry_r, geometry_s)  # repro: fork-init (parent-side parking)
     timed_out = False
     try:
         context = multiprocessing.get_context("fork")
@@ -143,7 +143,7 @@ def multiprocessing_join(
                 except multiprocessing.TimeoutError:
                     timed_out = True
     finally:
-        _WORK = None
+        _WORK = None  # repro: fork-init (parent-side unparking)
     if timed_out:
         warnings.warn(
             f"multiprocessing_join did not finish within {timeout_s}s; "

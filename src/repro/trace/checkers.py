@@ -665,7 +665,12 @@ class ResilienceAccountingChecker(InvariantChecker):
       (``FLT_INJECT_CORRUPT`` == ``SUP_PAGE_CORRUPT_DETECTED`` ==
       ``SUP_PAGE_REPAIRED``, also per page id);
     * circuit-breaker transitions are lawful per class:
-      closed→open, open→half-open, half-open→open|closed.
+      closed→open, open→half-open, half-open→open|closed;
+    * worker supervision is lawful: a pid reported crashed
+      (``SUP_WORKER_CRASH_DETECTED``) cannot crash again unless the pid
+      re-entered the pool via ``SUP_WORKER_RESPAWNED``, and the
+      ``restarts`` counter carried by ``SUP_POOL_RESTARTED`` increases
+      strictly monotonically.
 
     On a healthy stream (no ``FLT_*``/``SUP_*`` events at all) every rule
     is vacuously satisfied, so the checker can ride on any service run.
@@ -715,6 +720,11 @@ class ResilienceAccountingChecker(InvariantChecker):
         self._breaker_state: dict = {}
         self.breaker_transitions = 0
         self.surfaced = 0  # error + timeout + cancellation outcomes
+        self.worker_crashes = 0
+        self.worker_respawns = 0
+        self.pool_restarts = 0
+        self._crashed_pids: set = set()
+        self._last_restart_count = 0
 
     def observe(self, event: TraceEvent) -> None:
         kind = event.kind
@@ -768,6 +778,30 @@ class ResilienceAccountingChecker(InvariantChecker):
                     f"{self._BREAKER_STATE[kind]} — not a lawful edge"
                 )
             self._breaker_state[cls] = self._BREAKER_STATE[kind]
+        elif kind is EventKind.SUP_WORKER_CRASH_DETECTED:
+            self.worker_crashes += 1
+            pid = data.get("pid")
+            if pid in self._crashed_pids:
+                self._violate(
+                    f"worker pid {pid} reported crashed twice without a "
+                    f"respawn in between"
+                )
+            self._crashed_pids.add(pid)
+        elif kind is EventKind.SUP_WORKER_RESPAWNED:
+            self.worker_respawns += 1
+            # Respawns carry the *new* pid; discarding handles OS pid reuse,
+            # which is the only way a crashed pid can lawfully crash again.
+            self._crashed_pids.discard(data.get("pid"))
+        elif kind is EventKind.SUP_POOL_RESTARTED:
+            self.pool_restarts += 1
+            count = data.get("restarts")
+            if count is not None:
+                if count <= self._last_restart_count:
+                    self._violate(
+                        f"pool restart counter went {self._last_restart_count} "
+                        f"-> {count}; restarts must increase strictly"
+                    )
+                self._last_restart_count = count
         elif kind in (
             EventKind.SVC_REQUEST_ERROR,
             EventKind.SVC_REQUEST_TIMEOUT,
@@ -840,6 +874,9 @@ class ResilienceAccountingChecker(InvariantChecker):
             "corruptions": self.corruptions,
             "repairs": self.repairs,
             "breaker_transitions": self.breaker_transitions,
+            "worker_crashes": self.worker_crashes,
+            "worker_respawns": self.worker_respawns,
+            "pool_restarts": self.pool_restarts,
         }
 
 

@@ -1,0 +1,59 @@
+"""Fixture: planted pairing and async-discipline violations."""
+
+import asyncio
+import time
+
+
+class Pool:
+    def __init__(self, breaker, lock):
+        self.breaker = breaker
+        self.lock = lock
+
+    def call_bad(self):
+        if not self.breaker.allow():  # planted PAIR001
+            return None
+        return self.breaker.record_success()
+
+    def call_ok(self):
+        if not self.breaker.allow():  # negative: settled in finally
+            return None
+        try:
+            return 1
+        finally:
+            self.breaker.release()
+
+    def call_suppressed(self):
+        return self.breaker.allow()  # repro: noqa[PAIR001]
+
+    def latch_bad(self):
+        self.lock.acquire()  # planted PAIR002
+        return 1
+
+    def latch_ok(self):
+        self.lock.acquire()  # negative: released in finally
+        try:
+            return 1
+        finally:
+            self.lock.release()
+
+    def latch_suppressed(self):
+        self.lock.acquire()  # repro: noqa[PAIR002]
+
+
+async def handle_bad():
+    time.sleep(0.1)  # planted ASYNC001
+    with open("/tmp/fixture") as fh:  # planted ASYNC001
+        return fh.read()
+
+
+async def handle_suppressed():
+    time.sleep(0.1)  # repro: noqa[ASYNC001]
+
+
+async def handle_ok():
+    await asyncio.sleep(0.1)
+
+    def blocking_helper():  # negative: nested sync def runs off-loop
+        time.sleep(1)
+
+    return blocking_helper

@@ -1,0 +1,33 @@
+"""Fixture: planted determinism violations in a sim-scoped module."""
+
+import random
+import time
+from datetime import datetime
+
+
+def now_bad():
+    return time.time()  # planted DET001
+
+
+def now_suppressed():
+    return time.time()  # repro: noqa[DET001]
+
+
+def stamp_bad():
+    return datetime.now()  # planted DET001
+
+
+def jitter_bad():
+    return random.random()  # planted DET002
+
+
+def jitter_suppressed():
+    return random.random()  # repro: noqa[DET002]
+
+
+def rng_bad():
+    return random.Random()  # planted DET002: no seed
+
+
+def rng_ok(seed):
+    return random.Random(seed)  # negative: seeded, must not fire

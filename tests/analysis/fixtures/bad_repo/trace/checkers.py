@@ -1,0 +1,5 @@
+"""Fixture: the accounting checker only reconciles SUP_CALL_OK."""
+
+from .events import EventKind
+
+RECONCILED = {EventKind.SUP_CALL_OK}

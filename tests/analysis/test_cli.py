@@ -1,0 +1,186 @@
+"""End-to-end tests of the ``python -m repro.analysis`` gate.
+
+These drive the CLI in-process through ``main()`` (fast, no subprocess)
+and assert the documented exit-code contract: 0 = gate passes, 1 = new
+errors, 2 = internal failure.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+HERE = Path(__file__).parent
+FIXTURES = HERE / "fixtures"
+BAD_REPO = str(FIXTURES / "bad_repo")
+PLANTED_TRACE = str(FIXTURES / "planted_race.jsonl")
+CLEAN_TRACE = str(FIXTURES / "clean_trace.jsonl")
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestExitCodes:
+    def test_all_fails_on_planted_repo_and_race(self, tmp_path):
+        # The acceptance criterion: planted unseeded RNG + planted trace
+        # race must make `all` exit non-zero.
+        report = tmp_path / "report.json"
+        code = main(
+            [
+                "all",
+                BAD_REPO,
+                "--trace",
+                PLANTED_TRACE,
+                "--json",
+                str(report),
+            ]
+        )
+        assert code == 1
+        payload = json.loads(report.read_text())
+        assert payload["ok"] is False
+        rules = {f["rule"] for f in payload["new_errors"]}
+        assert "DET002" in rules  # the planted unseeded RNG
+        assert "race-write-write" in rules  # the planted trace race
+
+    def test_all_passes_on_committed_baseline_and_clean_trace(self):
+        code = main(
+            [
+                "all",
+                str(REPO_ROOT / "src" / "repro"),
+                "--baseline",
+                str(REPO_ROOT / "analysis-baseline.json"),
+                "--trace",
+                CLEAN_TRACE,
+            ]
+        )
+        assert code == 0
+
+    def test_internal_failure_exits_two(self):
+        assert main(["races", "--trace", "/nonexistent/trace.jsonl"]) == 2
+
+
+class TestLintCommand:
+    def test_lint_clean_repo_exits_zero(self):
+        assert main(["lint", str(REPO_ROOT / "src" / "repro")]) == 0
+
+    def test_lint_bad_repo_exits_one(self):
+        assert main(["lint", BAD_REPO]) == 1
+
+    def test_select_narrows_the_gate(self):
+        # Only PAIR001 selected: the DET/TRC/FORK plants don't count.
+        code = main(["lint", BAD_REPO, "--select", "PAIR001"])
+        assert code == 1
+        code = main(
+            ["lint", str(FIXTURES / "bad_repo" / "sim"), "--select", "PAIR001"]
+        )
+        assert code == 0
+
+
+class TestBaselineRatchet:
+    def test_baselined_debt_passes_then_new_debt_fails(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        # Accept the current debt of the fixture repo...
+        assert (
+            main(["lint", BAD_REPO, "--write-baseline", "--baseline", str(baseline)])
+            == 0
+        )
+        # ...now the same findings are ratcheted, the gate passes...
+        assert main(["lint", BAD_REPO, "--baseline", str(baseline)]) == 0
+        # ...but a repo with MORE debt than the baseline fails.
+        extra = tmp_path / "worse" / "sim"
+        extra.mkdir(parents=True)
+        (extra / "more.py").write_text(
+            "import random\n"
+            "def f():\n"
+            "    return random.random()\n"
+        )
+        assert (
+            main(
+                [
+                    "lint",
+                    BAD_REPO,
+                    str(tmp_path / "worse"),
+                    "--baseline",
+                    str(baseline),
+                ]
+            )
+            == 1
+        )
+
+    def test_line_drift_keeps_baseline_identity(self, tmp_path):
+        # Fingerprints exclude line numbers: shifting a known finding a
+        # few lines down must not break the gate.
+        repo_a = tmp_path / "a" / "sim"
+        repo_a.mkdir(parents=True)
+        (repo_a / "mod.py").write_text(
+            "import time\n"
+            "def f():\n"
+            "    return time.time()\n"
+        )
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "lint",
+                    str(tmp_path / "a"),
+                    "--write-baseline",
+                    "--baseline",
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        (repo_a / "mod.py").write_text(
+            "import time\n"
+            "# a comment pushing things down\n"
+            "\n"
+            "def f():\n"
+            "    return time.time()\n"
+        )
+        assert (
+            main(["lint", str(tmp_path / "a"), "--baseline", str(baseline)])
+            == 0
+        )
+
+
+class TestRacesCommand:
+    def test_planted_trace_gates(self):
+        assert main(["races", "--trace", PLANTED_TRACE]) == 1
+
+    def test_clean_trace_passes(self):
+        assert main(["races", "--trace", CLEAN_TRACE]) == 0
+
+    def test_explain_prints_access_histories(self, capsys):
+        main(["races", "--trace", PLANTED_TRACE, "--explain"])
+        out = capsys.readouterr().out
+        assert "access A" in out and "access B" in out
+
+
+class TestExternalCommand:
+    def test_external_never_gates(self):
+        # ruff/mypy findings are warnings; missing tools are skipped notes.
+        assert main(["external", str(REPO_ROOT / "src" / "repro")]) == 0
+
+    def test_report_records_tool_status(self, tmp_path, capsys):
+        main(["external", BAD_REPO])
+        out = capsys.readouterr().out
+        assert "[ruff]" in out and "[mypy]" in out
+
+
+class TestJsonReport:
+    def test_report_shape(self, tmp_path):
+        report = tmp_path / "out.json"
+        main(["lint", BAD_REPO, "--json", str(report)])
+        payload = json.loads(report.read_text())
+        assert set(payload) == {
+            "ok",
+            "counts",
+            "tools",
+            "baseline",
+            "new_errors",
+            "findings",
+        }
+        assert payload["counts"]["error"] == len(payload["findings"])
+        for finding in payload["findings"]:
+            assert finding["fingerprint"]
+            assert finding["severity"] == "error"

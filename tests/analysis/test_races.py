@@ -1,0 +1,180 @@
+"""Tests of the trace-driven lockset/happens-before race detector."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Severity, detect_races
+from repro.analysis.races import RaceDetector
+from repro.trace.events import EventKind, TraceEvent
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def ev(seq, kind, proc, **data):
+    return TraceEvent(seq, seq * 0.001, kind, proc, data)
+
+
+class TestPlantedRaces:
+    @pytest.fixture(scope="class")
+    def planted(self):
+        findings, stats = detect_races(FIXTURES / "planted_race.jsonl")
+        return findings, stats
+
+    def test_all_three_race_classes_found(self, planted):
+        findings, _ = planted
+        assert {f.rule for f in findings} == {
+            "race-write-write",
+            "race-double-residency",
+            "race-lost-update",
+        }
+
+    def test_planted_races_are_errors(self, planted):
+        findings, _ = planted
+        assert all(f.severity is Severity.ERROR for f in findings)
+
+    def test_stats_report_global_mode(self, planted):
+        _, stats = planted
+        assert stats["mode"] == "global"
+        assert stats["races"] == 3
+
+    def test_finding_names_both_processors(self, planted):
+        findings, _ = planted
+        ww = next(f for f in findings if f.rule == "race-write-write")
+        assert "proc 0" in ww.message and "proc 1" in ww.message
+        assert "page 9" in ww.message
+
+
+class TestCleanTraces:
+    def test_clean_protocol_trace_passes(self):
+        findings, stats = detect_races(FIXTURES / "clean_trace.jsonl")
+        errors = [f for f in findings if f.severity is Severity.ERROR]
+        assert errors == [], [f.render() for f in errors]
+        assert stats["mode"] == "global"
+
+    def test_local_mode_skips_page_analysis(self):
+        # Without directory events, per-processor copies are private and
+        # multi-residency is legitimate — no findings at all.
+        events = [
+            ev(0, EventKind.BUFFER_INSERT, 0, page=9),
+            ev(1, EventKind.BUFFER_INSERT, 1, page=9),
+            ev(2, EventKind.BUFFER_EVICT, 0, page=9),
+        ]
+        findings, stats = detect_races(events)
+        assert findings == []
+        assert stats["mode"] == "local"
+
+    def test_latch_serialises_directory_slots(self):
+        # Lawful handover: register -> deregister -> register by another
+        # proc; all latched, so neither HB nor state rules fire.
+        events = [
+            ev(0, EventKind.BUFFER_INSERT, 0, page=3),
+            ev(1, EventKind.PAGE_REGISTERED, 0, page=3),
+            ev(2, EventKind.BUFFER_EVICT, 0, page=3),
+            ev(3, EventKind.PAGE_DEREGISTERED, 0, page=3),
+            ev(4, EventKind.BUFFER_INSERT, 1, page=3),
+            ev(5, EventKind.PAGE_REGISTERED, 1, page=3),
+        ]
+        findings, _ = detect_races(events)
+        assert [f for f in findings if f.severity is Severity.ERROR] == []
+
+
+class TestStateRules:
+    def test_stale_deregister_detected(self):
+        events = [
+            ev(0, EventKind.PAGE_REGISTERED, 0, page=7),
+            ev(1, EventKind.PAGE_DEREGISTERED, 1, page=7),
+        ]
+        findings, _ = detect_races(events)
+        assert [f.rule for f in findings] == ["race-lost-update"]
+        assert "stale" in findings[0].message
+
+    def test_same_owner_reregistration_is_lawful(self):
+        events = [
+            ev(0, EventKind.PAGE_REGISTERED, 0, page=7),
+            ev(1, EventKind.PAGE_REGISTERED, 0, page=7),
+        ]
+        findings, _ = detect_races(events)
+        assert findings == []
+
+    def test_duplicate_reports_are_collapsed(self):
+        # The same racing pair on the same page is reported once, not per
+        # repeated access.
+        events = [
+            ev(0, EventKind.REMOTE_FETCH, 2, page=1, owner=3),
+            ev(1, EventKind.BUFFER_INSERT, 0, page=9),
+            ev(2, EventKind.BUFFER_INSERT, 1, page=9),
+            ev(3, EventKind.BUFFER_INSERT, 0, page=9),
+            ev(4, EventKind.BUFFER_INSERT, 1, page=9),
+        ]
+        findings, _ = detect_races(events)
+        rules = [f.rule for f in findings]
+        assert rules.count("race-write-write") == 1
+        assert rules.count("race-double-residency") == 1
+
+
+class TestExplainMode:
+    def test_explain_attaches_both_access_histories(self):
+        findings, _ = detect_races(
+            FIXTURES / "planted_race.jsonl", explain=True
+        )
+        ww = next(f for f in findings if f.rule == "race-write-write")
+        joined = "\n".join(ww.context)
+        assert "access A" in joined and "access B" in joined
+        assert "buffer_insert" in joined
+
+    def test_without_explain_context_is_empty(self):
+        findings, _ = detect_races(FIXTURES / "planted_race.jsonl")
+        assert all(f.context == () for f in findings)
+
+
+class TestSinkProtocol:
+    def test_detector_is_a_trace_sink(self):
+        detector = RaceDetector(source="inline")
+        for event in (
+            ev(0, EventKind.REMOTE_FETCH, 0, page=1, owner=2),
+            ev(1, EventKind.BUFFER_INSERT, 0, page=9),
+            ev(2, EventKind.BUFFER_INSERT, 1, page=9),
+        ):
+            detector.handle(event)
+        findings = detector.finish()
+        assert findings and findings[0].path == "inline"
+
+
+class TestRealSimulation:
+    @pytest.mark.slow
+    def test_traced_gsrr_run_has_no_race_errors(self, tmp_path):
+        from repro.datagen import build_tree, paper_maps
+        from repro.join import (
+            GSRR,
+            ParallelJoinConfig,
+            parallel_spatial_join,
+            prepare_trees,
+        )
+        from repro.trace import TraceConfig
+
+        map_r, map_s = paper_maps(scale=0.02)
+        tree_r, tree_s = build_tree(map_r), build_tree(map_s)
+        store = prepare_trees(tree_r, tree_s)
+        trace_path = tmp_path / "run.jsonl"
+        parallel_spatial_join(
+            tree_r,
+            tree_s,
+            ParallelJoinConfig(
+                processors=4,
+                disks=4,
+                total_buffer_pages=96,
+                variant=GSRR,
+                trace=TraceConfig(
+                    keep_events=False,
+                    checkers=False,
+                    jsonl_path=str(trace_path),
+                ),
+            ),
+            page_store=store,
+        )
+        findings, stats = detect_races(trace_path)
+        errors = [f for f in findings if f.severity is Severity.ERROR]
+        assert errors == [], [f.render() for f in errors]
+        assert stats["mode"] == "global"
+        assert stats["events"] > 1000
