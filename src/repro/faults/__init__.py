@@ -18,6 +18,7 @@ repaired, or surfaced as an explicit error — never silently lost.
 """
 
 from .injector import (
+    CRASH_EXIT_CODE,
     FaultDirective,
     FaultInjector,
     InjectedCrash,
@@ -32,4 +33,5 @@ __all__ = [
     "FaultDirective",
     "InjectedCrash",
     "apply_directive",
+    "CRASH_EXIT_CODE",
 ]

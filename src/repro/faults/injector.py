@@ -93,12 +93,25 @@ class FaultInjector:
         self._worker_rng = plan.rng_for("worker")
         self._io_rng = plan.rng_for("io")
         self._page_rng = plan.rng_for("page")
+        self._task_rng = plan.rng_for("task")
+        self._journal_rng = plan.rng_for("journal")
         self._next_call = 0
+        # task-kill bookkeeping: each task id rolls at most once, each
+        # targeted kill fires at most once — re-executions of a requeued
+        # orphan are never re-killed, so recovery always makes progress.
+        self._task_rolled: set = set()
+        self._targets_fired: set = set()
+        self._task_starts: dict = {}
+        self._proc_targets = {
+            (proc, nth) for proc, nth in plan.kill_processor_at_event
+        }
         # injection counters, by fault class
         self.crashes = 0
         self.hangs = 0
         self.slow_ios = 0
         self.corruptions = 0
+        self.task_kills = 0
+        self.torn_appends = 0
 
     # -- worker-call seam ------------------------------------------------------
     def next_call_id(self) -> int:
@@ -140,6 +153,64 @@ class FaultInjector:
                 )
             return FaultDirective("slow", sleep_s=sleep_s)
         return None
+
+    # -- task seam (repro.recovery) --------------------------------------------
+    def should_kill_at_task(self, task_id: int, proc: int = -1) -> bool:
+        """Whether the processor starting *task_id* dies there.
+
+        Consulted once per task start by both recovery paths (the sim's
+        processor loop and the fork coordinator at chunk dispatch).  A
+        kill fires for a targeted task id (``kill_at_task``), a targeted
+        processor event (``kill_processor_at_event``: *proc*'s n-th task
+        start) or a ``task_kill_p`` roll — each task id rolls at most
+        once, each target fires at most once.  Emits
+        ``FLT_INJECT_TASK_KILL`` on strike.
+        """
+        starts = self._task_starts.get(proc, 0) + 1
+        self._task_starts[proc] = starts
+        kill = False
+        if (
+            task_id in self.plan.kill_at_task
+            and ("task", task_id) not in self._targets_fired
+        ):
+            self._targets_fired.add(("task", task_id))
+            kill = True
+        if (proc, starts) in self._proc_targets:
+            self._proc_targets.discard((proc, starts))
+            kill = True
+        if task_id not in self._task_rolled:
+            self._task_rolled.add(task_id)
+            if self._task_rng.random() < self.plan.task_kill_p:
+                kill = True
+        if kill:
+            self.task_kills += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.FLT_INJECT_TASK_KILL,
+                    proc=proc,
+                    task=task_id,
+                    start=starts,
+                )
+        return kill
+
+    # -- journal seam (repro.recovery) -----------------------------------------
+    def torn_append(self, size: int) -> Optional[int]:
+        """Byte offset to tear one journal append at, or None (intact).
+
+        The cut point is drawn from the same seeded stream and always
+        strictly inside the record, so a torn append is guaranteed to
+        fail the CRC frame check on the next scan.  Emits
+        ``FLT_INJECT_TORN_APPEND`` on strike.
+        """
+        if size < 2 or self._journal_rng.random() >= self.plan.torn_append_p:
+            return None
+        cut = self._journal_rng.randrange(1, size)
+        self.torn_appends += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.FLT_INJECT_TORN_APPEND, bytes=size, cut=cut
+            )
+        return cut
 
     # -- disk seam -------------------------------------------------------------
     def io_multiplier(self, page_id: int, proc: int = -1) -> float:
@@ -185,6 +256,8 @@ class FaultInjector:
             "hangs": self.hangs,
             "slow_ios": self.slow_ios,
             "corruptions": self.corruptions,
+            "task_kills": self.task_kills,
+            "torn_appends": self.torn_appends,
         }
 
     def __repr__(self) -> str:

@@ -14,7 +14,14 @@ inject:
   (the simulated disk array) or an equivalent sleep (serving workers);
 * **page corruption** — a bit of a buffered page copy is flipped before
   the copy is handed to the reader, exercising the checksum
-  verify-on-read and read-repair path.
+  verify-on-read and read-repair path;
+* **task kill** — the processor (simulated, or a forked chunk worker)
+  starting a task dies right there, probabilistically
+  (``task_kill_p``) or targeted (``kill_at_task`` /
+  ``kill_processor_at_event``), exercising lease expiry and orphan
+  requeue in :mod:`repro.recovery`;
+* **torn journal append** — one append to the durable join journal is
+  cut short mid-record, exercising the CRC frame check on resume.
 
 All randomness is derived from ``seed`` through stable per-site streams
 (:meth:`rng_for`), so one plan replayed over the same call sequence
@@ -25,7 +32,7 @@ injects the identical faults — chaos tests are reproducible and the
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 __all__ = ["FaultPlan", "NO_FAULTS"]
 
@@ -54,10 +61,25 @@ class FaultPlan:
     slow_io_base_s: float = 0.005
     #: P(a buffered page copy has one bit flipped before it is read).
     page_flip_p: float = 0.0
+    #: P(the processor starting a task is killed there) — recoverable-join
+    #: runs only (the lease/journal machinery must be on, or work is lost
+    #: for good).  Each task rolls at most once, so re-executions of a
+    #: requeued orphan are never re-killed and the join always progresses.
+    task_kill_p: float = 0.0
+    #: Deterministic task-targeted kills: whichever processor starts one
+    #: of these task ids dies there (fires once per id).
+    kill_at_task: tuple = field(default_factory=tuple)
+    #: Deterministic processor-targeted kills: ``(proc, n)`` kills
+    #: processor *proc* at its *n*-th task start (1-based, fires once).
+    kill_processor_at_event: tuple = field(default_factory=tuple)
+    #: P(one journal append is torn mid-write) — emulates a crash between
+    #: write() and the newline hitting the disk.
+    torn_append_p: float = 0.0
 
     def __post_init__(self):
         for name in (
-            "worker_crash_p", "worker_hang_p", "slow_io_p", "page_flip_p"
+            "worker_crash_p", "worker_hang_p", "slow_io_p", "page_flip_p",
+            "task_kill_p", "torn_append_p",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
@@ -66,6 +88,18 @@ class FaultPlan:
             raise ValueError("fault durations must be >= 0")
         if self.slow_io_factor < 1.0:
             raise ValueError("slow_io_factor must be >= 1")
+        for task in self.kill_at_task:
+            if not isinstance(task, int) or task < 0:
+                raise ValueError("kill_at_task entries must be task ids >= 0")
+        for entry in self.kill_processor_at_event:
+            if (
+                not isinstance(entry, tuple)
+                or len(entry) != 2
+                or entry[1] < 1
+            ):
+                raise ValueError(
+                    "kill_processor_at_event entries must be (proc, n>=1)"
+                )
 
     @property
     def active(self) -> bool:
@@ -75,6 +109,10 @@ class FaultPlan:
             or self.worker_hang_p > 0
             or self.slow_io_p > 0
             or self.page_flip_p > 0
+            or self.task_kill_p > 0
+            or self.torn_append_p > 0
+            or bool(self.kill_at_task)
+            or bool(self.kill_processor_at_event)
         )
 
     def rng_for(self, site: str) -> random.Random:
@@ -100,6 +138,14 @@ class FaultPlan:
             knobs.append(f"slow={self.slow_io_p}x{self.slow_io_factor}")
         if self.page_flip_p:
             knobs.append(f"flip={self.page_flip_p}")
+        if self.task_kill_p or self.kill_at_task or self.kill_processor_at_event:
+            knobs.append(
+                f"kill={self.task_kill_p}"
+                f"+{len(self.kill_at_task)}t"
+                f"+{len(self.kill_processor_at_event)}p"
+            )
+        if self.torn_append_p:
+            knobs.append(f"torn={self.torn_append_p}")
         inner = " ".join(knobs) if knobs else "inert"
         return f"<FaultPlan seed={self.seed} {inner}>"
 

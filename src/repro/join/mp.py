@@ -11,26 +11,54 @@ in-memory R*-trees from the parent without any serialisation — the
 process-level analogue of the paper's shared virtual memory.  Only the
 task index ranges travel to the workers and only ``(oid, oid)`` pairs
 travel back.
+
+**Fault tolerance** (:mod:`repro.recovery`): with ``recovery`` (or
+``journal_path``/``faults``) set, the static ranges are split into
+lease-sized *chunks* — one lease per dispatched chunk, heartbeats via a
+fork-inherited lock-free progress counter per chunk, and a parent-side
+sweep that expires silent chunks and redispatches them.  A worker death
+therefore loses at most one chunk's partial work instead of the whole
+static range (the old behaviour: ``pool.map`` over whole ranges never
+returns the dead worker's part).  Completed chunks may be journalled
+durably; :func:`repro.recovery.coordinator.resume_join` replays them and
+re-runs only the orphans.  The result multiset is exactly-once either
+way: the :class:`~repro.recovery.ledger.ResultLedger` commits the first
+completion per chunk and drops duplicates.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import math
 import multiprocessing
 import os
 import warnings
+from collections import deque
 from typing import Hashable, Optional
 
+from ..faults import CRASH_EXIT_CODE, FaultInjector, FaultPlan
+from ..recovery.config import RecoveryConfig, wall_clock
+from ..recovery.journal import JoinJournal
+from ..recovery.ledger import ResultLedger
+from ..recovery.lease import LeaseTable
 from ..rtree.node import Node
 from ..rtree.rstar import RStarTree
+from ..trace import NULL_TRACER, EventKind, Tracer
 from .refinement import ExactRefinement
 from .result import SequentialJoinResult
 from .sequential import join_node_pair
-from .tasks import Task, create_tasks
+from .tasks import Task, create_tasks, task_signature
 
-__all__ = ["multiprocessing_join", "join_subtrees"]
+__all__ = ["multiprocessing_join", "fault_tolerant_join", "join_subtrees"]
 
 # Set by the parent immediately before forking; inherited by workers.
 _WORK: Optional[tuple] = None
+#: Fork-inherited heartbeat channel of the fault-tolerant engine: one
+#: monotone progress counter per chunk, bumped by the executing worker at
+#: every task boundary.  A RawArray is lock-free — a worker hard-killed
+#: mid-bump cannot wedge anybody (an ``mp.Queue`` could die holding its
+#: feeder lock).
+_PROGRESS = None
 
 
 def join_subtrees(node_r: Node, node_s: Node) -> list[tuple[Hashable, Hashable]]:
@@ -57,6 +85,32 @@ def _run_task_range(bounds: tuple[int, int]) -> list[tuple[Hashable, Hashable]]:
     return pairs
 
 
+def _run_chunk(spec: tuple) -> tuple[int, list]:
+    """Worker body of the fault-tolerant engine: one chunk of tasks.
+
+    ``kill_at`` is a parent-computed fault directive (offset of the task
+    at whose *start* this execution hard-crashes, or None): the decision
+    ledger lives in the parent's injector, so a redispatched chunk is
+    never re-killed at the same task.  The crash is ``os._exit`` at a
+    task boundary — no pool lock is held, so the pool survives and
+    respawns the worker.
+    """
+    chunk_id, start, stop, kill_at = spec
+    tasks, geometry_r, geometry_s = _WORK
+    progress = _PROGRESS  # inherited shared array; this worker's cell only
+    pairs: list[tuple[Hashable, Hashable]] = []
+    for offset, index in enumerate(range(start, stop)):
+        if kill_at is not None and offset == kill_at:
+            os._exit(CRASH_EXIT_CODE)
+        task = tasks[index]
+        pairs.extend(join_subtrees(task.node_r, task.node_s))
+        if progress is not None:
+            progress[chunk_id] += 1  # heartbeat: monotone per-chunk counter
+    if geometry_r is not None:
+        pairs = ExactRefinement(geometry_r, geometry_s).filter_answers(pairs)
+    return chunk_id, pairs
+
+
 def _serial_join(tasks, geometry_r, geometry_s) -> list:
     pairs: list[tuple[Hashable, Hashable]] = []
     for task in tasks:
@@ -74,6 +128,10 @@ def multiprocessing_join(
     geometry_r=None,
     geometry_s=None,
     timeout_s: Optional[float] = None,
+    recovery: Optional[RecoveryConfig] = None,
+    journal_path: Optional[str] = None,
+    faults: Optional[FaultPlan] = None,
+    tracer: Tracer = NULL_TRACER,
 ) -> list[tuple[Hashable, Hashable]]:
     """Spatial join using *processes* OS processes.
 
@@ -93,14 +151,36 @@ def multiprocessing_join(
     :class:`RuntimeWarning` — slower, but the caller always gets the
     answer instead of blocking forever.  ``None`` (the default) preserves
     the old unbounded behaviour.
+
+    Any of ``recovery``/``journal_path``/``faults`` switches to the
+    **fault-tolerant chunked engine** (:func:`fault_tolerant_join`):
+    lease-sized chunks, heartbeat monitoring, orphan redispatch, an
+    optional durable journal, and exactly-once results even under
+    injected worker kills.  There ``timeout_s`` bounds the whole join
+    too, but the rescue completes only the *missing* chunks inline
+    instead of recomputing everything.
     """
-    global _WORK
     if (geometry_r is None) != (geometry_s is None):
         raise ValueError("pass geometry for both relations or for neither")
     if timeout_s is not None and timeout_s <= 0:
         raise ValueError("timeout_s must be positive (or None)")
     if processes is None:
         processes = min(8, os.cpu_count() or 1)
+    if recovery is not None or journal_path is not None or faults is not None:
+        pairs, _stats = fault_tolerant_join(
+            tree_r,
+            tree_s,
+            processes,
+            geometry_r=geometry_r,
+            geometry_s=geometry_s,
+            timeout_s=timeout_s,
+            recovery=recovery,
+            journal_path=journal_path,
+            faults=faults,
+            tracer=tracer,
+        )
+        return pairs
+    global _WORK
     tasks = create_tasks(tree_r, tree_s, min_tasks=processes * 4)
     if not tasks:
         return []
@@ -153,3 +233,383 @@ def multiprocessing_join(
         )
         return _serial_join(tasks, geometry_r, geometry_s)
     return [pair for part in parts for pair in part]
+
+
+# --------------------------------------------------------------------------
+# Fault-tolerant chunked engine
+# --------------------------------------------------------------------------
+
+
+class _Engine:
+    """One fault-tolerant join: chunking, leases, journal, redispatch.
+
+    The parent is the coordinator: it grants one lease per dispatched
+    chunk, polls the fork-inherited progress counters as heartbeats,
+    sweeps expired leases and redispatches their chunks (inline in the
+    parent after ``max_redispatch`` strikes — guaranteed progress even
+    with a wedged pool).  Results commit through the exactly-once ledger;
+    with a journal every grant/completion is durable and a later
+    :func:`~repro.recovery.coordinator.resume_join` replays the committed
+    chunks.
+    """
+
+    def __init__(
+        self,
+        tasks: list[Task],
+        geometry_r,
+        geometry_s,
+        processes: int,
+        recovery: RecoveryConfig,
+        faults: Optional[FaultPlan],
+        tracer: Tracer,
+        timeout_s: Optional[float],
+    ):
+        self.tasks = tasks
+        self.geometry_r = geometry_r
+        self.geometry_s = geometry_s
+        self.processes = processes
+        self.recovery = recovery
+        self.tracer = tracer
+        self.timeout_s = timeout_s
+        self.clock = wall_clock()
+        self.injector = (
+            FaultInjector(faults, tracer=tracer)
+            if faults is not None and faults.active
+            else None
+        )
+        chunk = recovery.chunk_tasks or max(
+            1, math.ceil(len(tasks) / (4 * max(1, processes)))
+        )
+        self.chunk_tasks = chunk
+        self.n_chunks = math.ceil(len(tasks) / chunk) if tasks else 0
+        self.bounds = [
+            (cid * chunk, min(len(tasks), (cid + 1) * chunk))
+            for cid in range(self.n_chunks)
+        ]
+        self.lease_table = LeaseTable(
+            clock=self.clock,
+            lease_s=recovery.lease_s,
+            heartbeat_s=recovery.heartbeat_s,
+            tracer=tracer,
+        )
+        self.ledger = ResultLedger(tracer=tracer)
+        self.journal: Optional[JoinJournal] = None
+        if recovery.journal_path is not None:
+            self.journal = JoinJournal(
+                recovery.journal_path,
+                tracer=tracer,
+                injector=self.injector,
+                fsync=recovery.fsync,
+            )
+            self._load_journal()
+        self.replayed_chunks = len(self.ledger)
+        self.pending: deque = deque(
+            cid for cid in range(self.n_chunks) if cid not in self.ledger
+        )
+        self.redispatches = {cid: 0 for cid in range(self.n_chunks)}
+        self.inline_runs = 0
+        self.commits = 0
+        self._last_progress = [0] * self.n_chunks
+
+    # -- journal ---------------------------------------------------------------
+    def _load_journal(self) -> None:
+        scan = self.journal.existing
+        sig = task_signature(self.tasks)
+        meta = scan.meta
+        if meta is None:
+            self.journal.append(
+                "meta",
+                mode="mp",
+                tasks=len(self.tasks),
+                chunk=self.chunk_tasks,
+                signature=sig,
+            )
+        elif (
+            meta.get("signature") != sig
+            or meta.get("tasks") != len(self.tasks)
+            or meta.get("chunk") != self.chunk_tasks
+        ):
+            raise ValueError(
+                "journal does not match this join: it records "
+                f"{meta.get('tasks')} tasks in chunks of "
+                f"{meta.get('chunk')} with signature "
+                f"{meta.get('signature')!r}; this run has "
+                f"{len(self.tasks)} tasks in chunks of "
+                f"{self.chunk_tasks} with {sig!r}"
+            )
+        for cid, record in sorted(scan.completions().items()):
+            rows = [tuple(row) for row in record.get("rows", ())]
+            self.ledger.replay(cid, rows)
+
+    # -- chunk execution -------------------------------------------------------
+    def _kill_directive(self, cid: int) -> Optional[int]:
+        """Offset within chunk *cid* at which this dispatch must crash,
+        or None.  Decided parent-side so the injector's fire-once ledger
+        spans redispatches."""
+        if self.injector is None:
+            return None
+        start, stop = self.bounds[cid]
+        for offset, index in enumerate(range(start, stop)):
+            if self.injector.should_kill_at_task(index, proc=cid):
+                return offset
+        return None
+
+    def _commit(self, cid: int, lease_id: int, rows: list) -> None:
+        if not self.ledger.commit(cid, rows, lease=lease_id, proc=cid):
+            return
+        self.commits += 1
+        if self.journal is not None:
+            self.journal.append(
+                "complete",
+                task=cid,
+                lease=lease_id,
+                proc=cid,
+                rows=[list(row) for row in rows],
+            )
+        stop_after = self.recovery.stop_after_commits
+        if stop_after is not None and self.commits >= stop_after:
+            from ..recovery.coordinator import JoinInterrupted
+
+            raise JoinInterrupted(
+                f"stopped after {self.commits} commits "
+                f"({len(self.ledger)}/{self.n_chunks} chunks done)"
+            )
+
+    def _run_inline(self, cid: int) -> None:
+        """Execute one chunk in the parent (serial path / last resort)."""
+        start, stop = self.bounds[cid]
+        lease = self.lease_table.grant(cid, holder=cid)
+        if self.journal is not None:
+            self.journal.append("grant", task=cid, lease=lease.id, proc=cid)
+        pairs: list = []
+        for index in range(start, stop):
+            task = self.tasks[index]
+            pairs.extend(join_subtrees(task.node_r, task.node_s))
+        if self.geometry_r is not None:
+            pairs = ExactRefinement(
+                self.geometry_r, self.geometry_s
+            ).filter_answers(pairs)
+        self.inline_runs += 1
+        self.lease_table.complete(lease.id, rows=len(pairs))
+        self._commit(cid, lease.id, pairs)
+
+    def _requeue(self, lease_id: int, cid: int) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(EventKind.LSE_REQUEUED, task=cid, lease=lease_id)
+        self.redispatches[cid] += 1
+        self.pending.append(cid)
+
+    # -- main loops ------------------------------------------------------------
+    def run_serial(self) -> None:
+        while self.pending:
+            self._run_inline(self.pending.popleft())
+
+    def run_parallel(self) -> None:
+        global _WORK, _PROGRESS
+        context = multiprocessing.get_context("fork")
+        progress = context.RawArray("Q", max(1, self.n_chunks))
+        _WORK = (self.tasks, self.geometry_r, self.geometry_s)  # repro: fork-init
+        _PROGRESS = progress  # repro: fork-init (parent-side parking)
+        deadline = (
+            self.clock() + self.timeout_s if self.timeout_s is not None else None
+        )
+        from ..recovery.coordinator import JoinInterrupted
+
+        try:
+            with context.Pool(self.processes) as pool:
+                inflight: dict[int, tuple[int, object]] = {}
+
+                def dispatch(cid: int) -> None:
+                    kill_at = self._kill_directive(cid)
+                    lease = self.lease_table.grant(cid, holder=cid)
+                    if self.journal is not None:
+                        self.journal.append(
+                            "grant", task=cid, lease=lease.id, proc=cid
+                        )
+                    start, stop = self.bounds[cid]
+                    handle = pool.apply_async(
+                        _run_chunk, ((cid, start, stop, kill_at),)
+                    )
+                    inflight[lease.id] = (cid, handle)
+
+                try:
+                    self._coordinate(pool, progress, inflight, dispatch, deadline)
+                except JoinInterrupted:
+                    # The abort hook emulates a dying parent, but the
+                    # trace must still reconcile: the abandoned chunks'
+                    # leases expire here (a real death leaves them to the
+                    # next run's sweep — same outcome, observable now).
+                    for lease_id, (cid, _handle) in list(inflight.items()):
+                        if self.lease_table.is_active(lease_id):
+                            self.lease_table.expire(lease_id, "interrupted")
+                            self._requeue(lease_id, cid)
+                    raise
+        finally:
+            _WORK = None  # repro: fork-init (parent-side unparking)
+            _PROGRESS = None  # repro: fork-init
+
+    def _coordinate(self, pool, progress, inflight, dispatch, deadline) -> None:
+        while len(self.ledger) < self.n_chunks:
+            while self.pending:
+                cid = self.pending.popleft()
+                if self.redispatches[cid] > self.recovery.max_redispatch:
+                    # Too many strikes: stop trusting the pool with this
+                    # chunk and finish it in the parent.
+                    self._run_inline(cid)
+                else:
+                    dispatch(cid)
+            if not inflight:
+                continue
+            # Collect finished chunks.
+            for lease_id, (cid, handle) in list(inflight.items()):
+                if not handle.ready():
+                    continue
+                del inflight[lease_id]
+                try:
+                    _rcid, rows = handle.get()
+                except Exception:
+                    # The worker raised (not crashed): treat like a
+                    # death — expire and requeue.
+                    if self.lease_table.is_active(lease_id):
+                        self.lease_table.expire(lease_id, "error")
+                        self._requeue(lease_id, cid)
+                    continue
+                if not self.lease_table.is_active(lease_id):
+                    # Declared dead but delivered late: its chunk was
+                    # requeued; drop the stale result (the re-execution's
+                    # copy commits instead).
+                    continue
+                self.lease_table.complete(lease_id, rows=len(rows))
+                self._commit(cid, lease_id, rows)
+            # Heartbeats: progress counters renew leases.
+            for lease_id, (cid, handle) in inflight.items():
+                current = progress[cid]
+                if current != self._last_progress[cid]:
+                    self._last_progress[cid] = current
+                    self.lease_table.renew(lease_id)
+            # Sweep: silence past the deadline orphans the chunk.
+            for lease in self.lease_table.sweep():
+                cid, _handle = inflight.pop(lease.id, (lease.task, None))
+                self._requeue(lease.id, cid)
+            if deadline is not None and self.clock() > deadline:
+                if len(self.ledger) < self.n_chunks:
+                    self._rescue_timeout(inflight)
+                break
+            if inflight:
+                # Block until something finishes or the sweep interval
+                # passes (no busy spin, no time.sleep).
+                next(iter(inflight.values()))[1].wait(self.recovery.sweep_s)
+
+    def _rescue_timeout(self, inflight: dict) -> None:
+        """Deadline fired: abandon the pool, finish missing chunks inline."""
+        warnings.warn(
+            f"fault-tolerant join did not finish within {self.timeout_s}s; "
+            f"completing {self.n_chunks - len(self.ledger)} missing "
+            f"chunk(s) on the inline path",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        for lease_id, (cid, _handle) in list(inflight.items()):
+            if self.lease_table.is_active(lease_id):
+                self.lease_table.expire(lease_id, "timeout")
+                self._requeue(lease_id, cid)
+        inflight.clear()
+        while self.pending:
+            cid = self.pending.popleft()
+            if cid not in self.ledger:
+                self._run_inline(cid)
+
+    # -- results ---------------------------------------------------------------
+    def stats(self) -> dict:
+        out = {
+            "tasks": len(self.tasks),
+            "chunks": self.n_chunks,
+            "chunk_tasks": self.chunk_tasks,
+            "replayed_chunks": self.replayed_chunks,
+            "inline_runs": self.inline_runs,
+            "redispatches": sum(self.redispatches.values()),
+            **self.ledger.stats(),
+            **self.lease_table.stats(),
+        }
+        if self.injector is not None:
+            out["fault_counts"] = self.injector.counts()
+        return out
+
+    def finish(self) -> tuple[list, dict]:
+        pairs = self.ledger.all_rows()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.RUN_END,
+                candidates=len(pairs),
+                chunks=self.n_chunks,
+                redispatches=sum(self.redispatches.values()),
+            )
+        return pairs, self.stats()
+
+    def close(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
+
+
+def fault_tolerant_join(
+    tree_r: RStarTree,
+    tree_s: RStarTree,
+    processes: Optional[int] = None,
+    *,
+    geometry_r=None,
+    geometry_s=None,
+    timeout_s: Optional[float] = None,
+    recovery: Optional[RecoveryConfig] = None,
+    journal_path: Optional[str] = None,
+    faults: Optional[FaultPlan] = None,
+    tracer: Tracer = NULL_TRACER,
+) -> tuple[list[tuple[Hashable, Hashable]], dict]:
+    """The chunked lease-monitored join; returns ``(pairs, stats)``.
+
+    ``pairs`` is the exactly-once result multiset, grouped by ascending
+    chunk id (deterministic given the task list).  ``stats`` reports
+    chunking, lease and ledger counters, redispatches and replays.  A
+    ``recovery.stop_after_commits`` abort raises
+    :class:`~repro.recovery.coordinator.JoinInterrupted`, leaving the
+    journal behind for :func:`~repro.recovery.coordinator.resume_join`.
+    """
+    if (geometry_r is None) != (geometry_s is None):
+        raise ValueError("pass geometry for both relations or for neither")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError("timeout_s must be positive (or None)")
+    if processes is None:
+        processes = min(8, os.cpu_count() or 1)
+    if recovery is None:
+        recovery = RecoveryConfig(journal_path=journal_path)
+    elif journal_path is not None and recovery.journal_path is None:
+        recovery = dataclasses.replace(recovery, journal_path=journal_path)
+    tasks = create_tasks(tree_r, tree_s, min_tasks=max(1, processes) * 4)
+    engine = _Engine(
+        tasks,
+        geometry_r,
+        geometry_s,
+        processes,
+        recovery,
+        faults,
+        tracer,
+        timeout_s,
+    )
+    try:
+        if not tasks or not engine.pending:
+            return engine.finish()
+        fork_supported = "fork" in multiprocessing.get_all_start_methods()
+        if processes <= 1 or not fork_supported:
+            if processes > 1:
+                warnings.warn(
+                    "the 'fork' start method is unavailable on this "
+                    "platform (spawn-only); fault_tolerant_join runs "
+                    "chunks inline in the parent",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            engine.run_serial()
+        else:
+            engine.run_parallel()
+        return engine.finish()
+    finally:
+        engine.close()

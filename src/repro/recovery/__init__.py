@@ -1,0 +1,49 @@
+"""Fault-tolerant parallel join: leases, orphan recovery, durable resume.
+
+The paper's machine never loses a processor; this layer makes the
+reproduction survive losing any of them — or the whole process:
+
+* :mod:`~repro.recovery.lease` — lease-based task ownership with
+  heartbeat renewal; a holder that stops renewing is declared dead and
+  its task returns to the queue (at-least-once re-execution);
+* :mod:`~repro.recovery.ledger` — the exactly-once result ledger:
+  first completion per task commits, duplicates are dropped;
+* :mod:`~repro.recovery.journal` — append-only CRC-framed JSONL journal
+  of grants and completed result batches, torn-write-tolerant;
+* :mod:`~repro.recovery.coordinator` — ``resume_join``: replay a dead
+  run's journal, re-run only the orphans.
+
+Both execution paths use the same pieces: the simulated join
+(``ParallelJoinConfig.recovery``) with the simulation clock, and the
+fork-based ``multiprocessing_join`` with the wall clock.  The event
+stream (``LSE_*``/``JNL_*``) is reconciled by
+:class:`repro.trace.checkers.RecoveryAccountingChecker`.
+"""
+
+from .config import RecoveryConfig, wall_clock
+from .coordinator import (
+    JoinInterrupted,
+    ResumeReport,
+    resume_join,
+    run_recoverable_join,
+)
+from .journal import JoinJournal, JournalScan, scan_journal
+from .lease import Lease, LeaseError, LeaseState, LeaseTable
+from .ledger import ResultLedger
+
+__all__ = [
+    "RecoveryConfig",
+    "wall_clock",
+    "Lease",
+    "LeaseError",
+    "LeaseState",
+    "LeaseTable",
+    "JoinJournal",
+    "JournalScan",
+    "scan_journal",
+    "ResultLedger",
+    "JoinInterrupted",
+    "ResumeReport",
+    "resume_join",
+    "run_recoverable_join",
+]

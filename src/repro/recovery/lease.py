@@ -1,0 +1,245 @@
+"""Lease-based task ownership with heartbeat renewal.
+
+Every unit of recoverable work — a task in the simulated join, a chunk of
+the task range under ``multiprocessing_join`` — is executed under a
+:class:`Lease`: a deadline-bound ownership claim granted by the
+coordinator and kept alive by heartbeat renewals from the holder.  A
+holder that crashes or wedges stops renewing; the next
+:meth:`LeaseTable.sweep` expires the lease, and the coordinator returns
+the task to the queue for at-least-once re-execution (the exactly-once
+output is restored downstream by the
+:class:`~repro.recovery.ledger.ResultLedger`).
+
+Buddy splits (work stealing, section 3.4) carry leases too: the thief of
+a reassigned pair set is granted a *split* lease on the same task, so a
+dead thief is detected exactly like a dead primary holder.
+
+The clock is injected: the simulation passes ``lambda: env.now``, the
+fork coordinator passes :func:`repro.recovery.config.wall_clock`.  All
+lease events (``LSE_*``) are reconciled by
+:class:`~repro.trace.checkers.RecoveryAccountingChecker`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional
+
+from ..trace import NULL_TRACER, EventKind, Tracer
+
+__all__ = ["LeaseState", "Lease", "LeaseTable", "LeaseError"]
+
+
+class LeaseError(RuntimeError):
+    """An unlawful lease transition (double grant, renew of closed, ...)."""
+
+
+class LeaseState(enum.Enum):
+    ACTIVE = "active"
+    COMPLETED = "completed"
+    EXPIRED = "expired"
+
+
+@dataclass
+class Lease:
+    """One ownership claim: *holder* executes *task* until *deadline*."""
+
+    id: int
+    task: Hashable
+    holder: int
+    granted_at: float
+    deadline: float
+    split: bool = False
+    renewals: int = 0
+    state: LeaseState = field(default=LeaseState.ACTIVE)
+
+    @property
+    def active(self) -> bool:
+        return self.state is LeaseState.ACTIVE
+
+
+class LeaseTable:
+    """All leases of one run, with sweep-based expiry detection.
+
+    ``clock`` is any monotone float-returning callable; ``lease_s`` is the
+    renewal deadline; ``heartbeat_s`` throttles :meth:`renew_holder` so a
+    processor renewing at every pair boundary emits at most one
+    ``LSE_RENEWED`` burst per interval.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        lease_s: float,
+        heartbeat_s: Optional[float] = None,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        if lease_s <= 0:
+            raise ValueError("lease_s must be > 0")
+        self.clock = clock
+        self.lease_s = lease_s
+        self.heartbeat_s = heartbeat_s if heartbeat_s is not None else lease_s / 4
+        self.tracer = tracer
+        self._leases: Dict[int, Lease] = {}
+        self._next_id = 0
+        self._last_heartbeat: Dict[int, float] = {}
+        self.granted = 0
+        self.completed = 0
+        self.expired = 0
+        self.renewals = 0
+
+    # -- grants ----------------------------------------------------------------
+    def grant(self, task: Hashable, holder: int, split: bool = False) -> Lease:
+        """Grant a fresh lease on *task* to *holder*."""
+        now = self.clock()
+        lease = Lease(
+            id=self._next_id,
+            task=task,
+            holder=holder,
+            granted_at=now,
+            deadline=now + self.lease_s,
+            split=split,
+        )
+        self._next_id += 1
+        self._leases[lease.id] = lease
+        self.granted += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.LSE_GRANTED,
+                proc=holder,
+                task=task,
+                lease=lease.id,
+                split=int(split),
+                deadline=lease.deadline,
+            )
+        return lease
+
+    def find_active(self, task: Hashable, holder: int) -> Optional[Lease]:
+        """The holder's active lease on *task*, if any (split or primary)."""
+        for lease in self._leases.values():
+            if lease.active and lease.task == task and lease.holder == holder:
+                return lease
+        return None
+
+    def get(self, lease_id: int) -> Lease:
+        return self._leases[lease_id]
+
+    def is_active(self, lease_id: int) -> bool:
+        lease = self._leases.get(lease_id)
+        return lease is not None and lease.active
+
+    # -- heartbeats ------------------------------------------------------------
+    def renew(self, lease_id: int) -> None:
+        """Explicit renewal of one lease (the fork coordinator's path)."""
+        lease = self._leases.get(lease_id)
+        if lease is None or not lease.active:
+            raise LeaseError(f"renew of non-active lease {lease_id}")
+        self._renew(lease, self.clock())
+
+    def renew_holder(self, holder: int) -> int:
+        """Renew every active lease held by *holder* (the sim's path).
+
+        Called at every pair boundary; throttled to one renewal burst per
+        ``heartbeat_s`` so the event stream stays proportional to the
+        number of heartbeats, not pairs.  Returns the number of leases
+        renewed.
+        """
+        now = self.clock()
+        last = self._last_heartbeat.get(holder)
+        if last is not None and now - last < self.heartbeat_s:
+            return 0
+        self._last_heartbeat[holder] = now
+        count = 0
+        for lease in self._leases.values():
+            if lease.active and lease.holder == holder:
+                self._renew(lease, now)
+                count += 1
+        return count
+
+    def _renew(self, lease: Lease, now: float) -> None:
+        lease.deadline = now + self.lease_s
+        lease.renewals += 1
+        self.renewals += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.LSE_RENEWED,
+                proc=lease.holder,
+                task=lease.task,
+                lease=lease.id,
+                deadline=lease.deadline,
+            )
+
+    # -- closure ---------------------------------------------------------------
+    def complete(self, lease_id: int, rows: int = 0) -> Lease:
+        """Close a lease successfully; *rows* is the result-row count the
+        holder produced (0 for split leases, which contribute rows through
+        the primary's attempt)."""
+        lease = self._leases.get(lease_id)
+        if lease is None or not lease.active:
+            raise LeaseError(f"complete of non-active lease {lease_id}")
+        lease.state = LeaseState.COMPLETED
+        self.completed += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.LSE_COMPLETED,
+                proc=lease.holder,
+                task=lease.task,
+                lease=lease.id,
+                split=int(lease.split),
+                rows=rows,
+            )
+        return lease
+
+    def expire(self, lease_id: int, reason: str = "forced") -> Lease:
+        """Force-expire an active lease (e.g. a sibling split died)."""
+        lease = self._leases.get(lease_id)
+        if lease is None or not lease.active:
+            raise LeaseError(f"expire of non-active lease {lease_id}")
+        self._expire(lease, reason)
+        return lease
+
+    def sweep(self) -> List[Lease]:
+        """Expire every active lease whose deadline passed; returns them."""
+        now = self.clock()
+        overdue = [
+            lease
+            for lease in self._leases.values()
+            if lease.active and lease.deadline < now
+        ]
+        for lease in overdue:
+            self._expire(lease, "deadline")
+        return overdue
+
+    def _expire(self, lease: Lease, reason: str) -> None:
+        lease.state = LeaseState.EXPIRED
+        self.expired += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.LSE_EXPIRED,
+                proc=lease.holder,
+                task=lease.task,
+                lease=lease.id,
+                split=int(lease.split),
+                reason=reason,
+            )
+
+    # -- introspection ---------------------------------------------------------
+    def active_leases(self) -> List[Lease]:
+        return [lease for lease in self._leases.values() if lease.active]
+
+    def leases_for(self, task: Hashable) -> List[Lease]:
+        return [l for l in self._leases.values() if l.task == task]
+
+    def stats(self) -> dict:
+        return {
+            "granted": self.granted,
+            "completed": self.completed,
+            "expired": self.expired,
+            "renewals": self.renewals,
+            "active": len(self.active_leases()),
+        }
+
+    def __repr__(self) -> str:
+        inner = " ".join(f"{k}={v}" for k, v in self.stats().items())
+        return f"<LeaseTable {inner}>"

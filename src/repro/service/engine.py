@@ -104,7 +104,8 @@ class EngineConfig:
                          — worker liveness polling and deadline sweeps;
     ``faults``           — seeded fault plan injected at the pool seam
                            (None = healthy);
-    ``seed``             — seeds retry jitter (None = nondeterministic).
+    ``seed``             — seeds retry jitter (None = nondeterministic);
+    ``join_chunks``      — split joins into resumable chunks (see field).
     """
 
     workers: int = 0
@@ -128,6 +129,12 @@ class EngineConfig:
     supervisor_interval_s: float = 0.2
     faults: Optional[FaultPlan] = None
     seed: Optional[int] = None
+    #: Split every join into this many worker calls (0/1 = one call).
+    #: Completed chunks are held by the engine while the rest retry, so
+    #: a worker crash or pool restart re-runs only the missing chunks —
+    #: the serving-layer analogue of :mod:`repro.recovery`'s orphan
+    #: recovery.  The merged result is identical to the unchunked join.
+    join_chunks: int = 0
 
 
 class Engine:
@@ -385,10 +392,15 @@ class Engine:
                     if request.window is not None
                     else None
                 )
-                value = await self._guarded(
-                    cls, "join", request.tree_r, request.tree_s, window,
-                    deadline=deadline,
-                )
+                if self.config.join_chunks > 1:
+                    value = await self._chunked_join(
+                        cls, request.tree_r, request.tree_s, window, deadline
+                    )
+                else:
+                    value = await self._guarded(
+                        cls, "join", request.tree_r, request.tree_s, window,
+                        deadline=deadline,
+                    )
                 batch_size = 0
             else:
                 raise TypeError(f"unknown request type {type(request).__name__}")
@@ -418,6 +430,39 @@ class Engine:
             Status.SHED, cls, latency_s=self._now() - t0,
             detail=f"circuit open for class {cls.value}; request shed",
         )
+
+    async def _chunked_join(
+        self,
+        cls: RequestClass,
+        tree_r: str,
+        tree_s: str,
+        window,
+        deadline: Optional[float],
+    ) -> tuple:
+        """Resumable join: ``join_chunks`` independent worker calls.
+
+        Each chunk runs under its own retry/breaker budget, so a worker
+        crash mid-join costs one chunk's re-execution, not the whole
+        join: the chunks that already returned are held here while the
+        failed one retries (against the restarted pool if the crash took
+        the worker down).  Chunk boundaries are computed in the workers
+        from the deterministic task list, so every retry — on any
+        worker — re-runs exactly the same slice.
+        """
+        n = self.config.join_chunks
+        parts = await asyncio.gather(
+            *(
+                self._guarded(
+                    cls, "join_chunk", tree_r, tree_s, window, index, n,
+                    deadline=deadline,
+                )
+                for index in range(n)
+            )
+        )
+        merged: list = []
+        for part in parts:
+            merged.extend(part)
+        return tuple(sorted(merged))
 
     async def _guarded(
         self, cls: RequestClass, kind: str, *args,

@@ -27,6 +27,13 @@ replayed through the service + resilience invariant checkers.  The run
 **fails** (exit code 1) if any request is lost — submitted but never
 given a terminal response — or any checker reports a violation; the
 healthy-vs-faulted comparison is written to ``BENCH_chaos.json``.
+
+``--resume`` benchmarks the recoverable join instead of the serving
+engine: the same journalled join is run healthy, under seeded task kills
+(recovered throughput), and interrupted-then-resumed (journal replay
+time); all three answers must equal the sequential oracle and the lease
+ledger must reconcile, or the run exits 1.  The comparison is written to
+``BENCH_recovery.json``.
 """
 
 from __future__ import annotations
@@ -303,7 +310,23 @@ def main(argv=None) -> int:
                        help="fault plan seed (decisions are reproducible)")
     chaos.add_argument("--attempt-timeout", type=float, default=0.5,
                        help="per-attempt execution deadline under chaos (s)")
+    recovery = parser.add_argument_group("recovery (--resume)")
+    recovery.add_argument(
+        "--resume",
+        action="store_true",
+        help="benchmark the journalled fault-tolerant join: healthy vs "
+        "task-kill chaos vs interrupt-then-resume, write "
+        "BENCH_recovery.json (exit 1 on a wrong answer or ledger "
+        "violation)",
+    )
+    recovery.add_argument("--kill-p", type=float, default=0.15,
+                          help="per-task kill probability in the chaos arm")
+    recovery.add_argument("--lease-s", type=float, default=2.0,
+                          help="chunk lease deadline (seconds)")
     args = parser.parse_args(argv)
+
+    if args.resume:
+        return _recovery_main(args)
 
     def engine_config(
         batching: bool,
@@ -531,6 +554,182 @@ def _chaos_main(args, run) -> int:
             print(f"CHAOS FAILURE: {failure}")
         return 1
     print("chaos invariants hold: no lost requests, all checkers green")
+    return 0
+
+
+def _recovery_main(args) -> int:
+    """The ``--resume`` arm: benchmark the journalled fault-tolerant join.
+
+    Three runs of the same join: healthy (baseline throughput), under
+    seeded task kills (recovered throughput — every killed chunk is
+    redispatched) and interrupted-then-resumed (replay time — committed
+    chunks come back from the journal, only orphans re-run).
+    """
+    import tempfile
+
+    from ..join import sequential_join
+    from ..join.parallel import prepare_trees
+    from ..recovery import (
+        JoinInterrupted,
+        RecoveryConfig,
+        resume_join,
+        run_recoverable_join,
+    )
+    from ..trace import ListSink, Tracer, recovery_checkers, run_checkers
+
+    processes = max(2, args.workers)
+    print(
+        f"building workload (scale={args.scale}, seed={args.seed}) ...",
+        flush=True,
+    )
+    map1, map2 = paper_maps(scale=args.scale, seed=args.seed)
+    tree_r, tree_s = build_tree(map1), build_tree(map2)
+    prepare_trees(tree_r, tree_s)
+    oracle = sorted(sequential_join(tree_r, tree_s).pairs)
+
+    def config(journal, **extra):
+        return RecoveryConfig(
+            lease_s=args.lease_s,
+            heartbeat_s=args.lease_s / 4,
+            sweep_s=0.05,
+            journal_path=journal,
+            **extra,
+        )
+
+    failures: list[str] = []
+    wall_start = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="loadgen-recovery-") as tmp:
+        print(heading(f"recoverable join — healthy ({processes} workers)"))
+        t0 = time.perf_counter()
+        healthy = run_recoverable_join(
+            tree_r, tree_s, journal_path=f"{tmp}/healthy.jnl",
+            processes=processes, recovery=config(f"{tmp}/healthy.jnl"),
+        )
+        healthy_s = time.perf_counter() - t0
+        print(
+            f"{len(healthy.pairs)} pairs in {healthy_s:.2f}s "
+            f"({healthy.stats['chunks']} chunks)"
+        )
+        if sorted(healthy.pairs) != oracle:
+            failures.append("healthy run diverged from the sequential oracle")
+
+        plan = FaultPlan(seed=args.chaos_seed, task_kill_p=args.kill_p)
+        print(heading(
+            f"recoverable join — task-kill chaos "
+            f"(kill_p={args.kill_p}, seed={args.chaos_seed})"
+        ))
+        sink = ListSink()
+        t0 = time.perf_counter()
+        chaos = run_recoverable_join(
+            tree_r, tree_s, journal_path=f"{tmp}/chaos.jnl",
+            processes=processes, recovery=config(f"{tmp}/chaos.jnl"),
+            faults=plan, tracer=Tracer(sinks=[sink]),
+        )
+        chaos_s = time.perf_counter() - t0
+        kills = chaos.stats.get("fault_counts", {}).get("task_kills", 0)
+        print(
+            f"{len(chaos.pairs)} pairs in {chaos_s:.2f}s — {kills} worker "
+            f"kill(s), {chaos.stats['redispatches']} redispatch(es)"
+        )
+        if sorted(chaos.pairs) != oracle:
+            failures.append("chaos run diverged from the sequential oracle")
+        for verdict in run_checkers(sink.events, recovery_checkers()):
+            if not verdict.ok:
+                failures.append(
+                    f"chaos run: checker {verdict.checker} reported "
+                    f"{verdict.violation_count} violation(s): "
+                    f"{verdict.violations[:3]}"
+                )
+
+        stop_after = max(1, healthy.stats["chunks"] // 2)
+        print(heading(
+            f"recoverable join — interrupt after {stop_after} "
+            f"commit(s), then resume"
+        ))
+        journal = f"{tmp}/resume.jnl"
+        try:
+            run_recoverable_join(
+                tree_r, tree_s, journal_path=journal, processes=processes,
+                recovery=config(journal, stop_after_commits=stop_after),
+            )
+            failures.append("stop_after_commits never interrupted the join")
+            replay_s = float("nan")
+            resumed = healthy
+        except JoinInterrupted as exc:
+            print(f"interrupted: {exc}")
+            t0 = time.perf_counter()
+            resumed = resume_join(
+                journal, tree_r, tree_s, processes=processes,
+                recovery=config(journal),
+            )
+            replay_s = time.perf_counter() - t0
+            print(
+                f"resumed in {replay_s:.2f}s — {resumed.replayed_chunks} "
+                f"chunk(s) replayed from the journal, "
+                f"{resumed.rerun_chunks} re-run"
+            )
+            if sorted(resumed.pairs) != oracle:
+                failures.append(
+                    "resumed run diverged from the sequential oracle"
+                )
+            if not resumed.complete:
+                failures.append("resumed run did not cover every chunk")
+            if resumed.replayed_chunks < stop_after:
+                failures.append(
+                    f"resume replayed {resumed.replayed_chunks} chunk(s) "
+                    f"but {stop_after} were committed before the interrupt"
+                )
+
+    payload = {
+        "bench": "recovery",
+        "config": {
+            "scale": args.scale,
+            "seed": args.seed,
+            "processes": processes,
+            "lease_s": args.lease_s,
+            "kill_p": args.kill_p,
+            "chaos_seed": args.chaos_seed,
+        },
+        "oracle_pairs": len(oracle),
+        "wall_time_s": time.perf_counter() - wall_start,
+        "healthy": {
+            "time_s": healthy_s,
+            "throughput_pairs_per_s": (
+                len(healthy.pairs) / healthy_s if healthy_s else float("nan")
+            ),
+            "stats": healthy.stats,
+        },
+        "chaos": {
+            "time_s": chaos_s,
+            "recovered_throughput_pairs_per_s": (
+                len(chaos.pairs) / chaos_s if chaos_s else float("nan")
+            ),
+            "throughput_retained": (
+                healthy_s / chaos_s if chaos_s else float("nan")
+            ),
+            "task_kills": kills,
+            "stats": chaos.stats,
+        },
+        "resume": {
+            "stop_after_commits": stop_after,
+            "replay_time_s": replay_s,
+            "replayed_chunks": resumed.replayed_chunks,
+            "rerun_chunks": resumed.rerun_chunks,
+            "stats": resumed.stats,
+        },
+        "failures": failures,
+        "ok": not failures,
+    }
+    path = report_json("recovery", payload)
+    print(f"\nwrote {path}")
+    if failures:
+        for failure in failures:
+            print(f"RECOVERY FAILURE: {failure}")
+        return 1
+    print(
+        "recovery invariants hold: exact answers, ledger reconciled, "
+        "resume replayed every committed chunk"
+    )
     return 0
 
 

@@ -92,6 +92,48 @@ def _join_on(
 ) -> tuple:
     tree_r, tree_s = trees[name_r], trees[name_s]
     pairs = sequential_join(tree_r, tree_s).pairs
+    return _window_filtered(tree_r, tree_s, pairs, window)
+
+
+def _join_chunk_on(
+    trees,
+    name_r: str,
+    name_s: str,
+    window: Optional[tuple],
+    index: int,
+    n_chunks: int,
+) -> tuple:
+    """One chunk of a join split for resumable execution.
+
+    The task list (phase 1 of the parallel join) is deterministic given
+    the trees, so every worker — including one forked after a crash —
+    computes identical chunk boundaries; the engine gathers the chunks
+    and retries only the missing ones after a worker death.  Chunk 0
+    falls back to the whole join when the trees cannot be task-split
+    (unequal heights), the other chunks then return nothing.
+    """
+    from ..join.mp import join_subtrees
+    from ..join.tasks import create_tasks
+
+    tree_r, tree_s = trees[name_r], trees[name_s]
+    try:
+        tasks = create_tasks(tree_r, tree_s, min_tasks=n_chunks)
+    except ValueError:
+        tasks = None
+    if not tasks:
+        if index > 0:
+            return ()
+        return _join_on(trees, name_r, name_s, window)
+    base, extra = divmod(len(tasks), n_chunks)
+    start = index * base + min(index, extra)
+    stop = start + base + (1 if index < extra else 0)
+    pairs: list = []
+    for task in tasks[start:stop]:
+        pairs.extend(join_subtrees(task.node_r, task.node_s))
+    return _window_filtered(tree_r, tree_s, pairs, window)
+
+
+def _window_filtered(tree_r, tree_s, pairs, window: Optional[tuple]) -> tuple:
     if window is not None:
         rect = Rect(*window)
         keep_r = {e.oid for e in window_query(tree_r, rect)}
@@ -100,7 +142,12 @@ def _join_on(
     return tuple(sorted(pairs))
 
 
-_EXEC_FNS = {"windows": _windows_on, "knn": _knn_on, "join": _join_on}
+_EXEC_FNS = {
+    "windows": _windows_on,
+    "knn": _knn_on,
+    "join": _join_on,
+    "join_chunk": _join_chunk_on,
+}
 
 
 def _fork_call(kind: str, directive: Optional[FaultDirective], args: tuple):

@@ -20,12 +20,14 @@ from .checkers import (
     DiskAccountingChecker,
     InvariantChecker,
     InvariantViolation,
+    RecoveryAccountingChecker,
     ResilienceAccountingChecker,
     ServiceAccountingChecker,
     StealSoundnessChecker,
     TaskConservationChecker,
     Verdict,
     default_checkers,
+    recovery_checkers,
     run_checkers,
     service_checkers,
 )
@@ -57,7 +59,9 @@ __all__ = [
     "ClockMonotonicityChecker",
     "ServiceAccountingChecker",
     "ResilienceAccountingChecker",
+    "RecoveryAccountingChecker",
     "default_checkers",
+    "recovery_checkers",
     "service_checkers",
     "run_checkers",
     "render_timeline",

@@ -880,6 +880,237 @@ class ResilienceAccountingChecker(InvariantChecker):
         }
 
 
+class RecoveryAccountingChecker(InvariantChecker):
+    """Lease/journal accounting: grants = completions + orphans-requeued,
+    and no result row lost or double-counted.
+
+    The recovery layer (:mod:`repro.recovery`) emits one ``LSE_*`` event
+    per lease transition and ``JNL_*`` events for the durable journal;
+    the fault injector emits the task-kill / torn-append sabotage ledger.
+    The streams must reconcile:
+
+    * every lease is **granted once** and **closed exactly once** —
+      completed (``LSE_COMPLETED``) or expired (``LSE_EXPIRED``); a lease
+      still active when the stream ends leaked ownership;
+    * renewals (``LSE_RENEWED``) only touch active leases;
+    * every expired *primary* lease requeues its task exactly once
+      (``LSE_REQUEUED``) — that is the "grants = completions +
+      orphans-requeued" ledger; split leases (buddy-steal claims on the
+      same task) expire with their attempt and need no requeue of their
+      own;
+    * at most one primary completion per task — a second would commit the
+      task's rows twice; late duplicates must surface as
+      ``LSE_DUP_DROPPED``, which in turn is lawful only for a task whose
+      rows were already committed or replayed;
+    * a task may be **replayed from the journal** (``JNL_REPLAYED``) or
+      completed live, never both in one run;
+    * the final result size carried by ``RUN_END`` (``candidates``)
+      equals committed rows + replayed rows — no row lost, none counted
+      twice;
+    * every injected task kill (``FLT_INJECT_TASK_KILL``) is *detected*:
+      the killed processor's leases expire (at least as many expiries on
+      that proc as kills);
+    * journal scans are self-consistent: the per-scan ``torn`` counts of
+      ``JNL_SCANNED`` sum to the ``JNL_TORN_DETECTED`` events emitted
+      (torn injections, ``FLT_INJECT_TORN_APPEND``, are counted as stats
+      — they only become *detectable* once some later run scans the
+      file).
+
+    On a stream without recovery events every rule is vacuous, so the
+    checker rides in the default set.
+    """
+
+    name = "recovery-accounting"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lease_state: dict = {}  # lease id -> "active"|"completed"|"expired"
+        self._lease_split: dict = {}
+        self._lease_proc: dict = {}
+        self._pending_requeues: dict = {}  # task -> expired primaries not yet requeued
+        self._completed_tasks: dict = {}  # task -> rows (primary completions)
+        self._replayed_tasks: dict = {}  # task -> rows
+        self._kills_by_proc: dict = {}
+        self._expiries_by_proc: dict = {}
+        self.grants = 0
+        self.renewals = 0
+        self.completions = 0
+        self.expirations = 0
+        self.requeues = 0
+        self.dup_dropped = 0
+        self.task_kills = 0
+        self.torn_injected = 0
+        self.torn_detected = 0
+        self.journal_appends = 0
+        self.journal_scans = 0
+        self._scanned_torn_total = 0
+        self._run_end_candidates: Optional[int] = None
+
+    def observe(self, event: TraceEvent) -> None:
+        kind = event.kind
+        data = event.data
+        if kind is EventKind.LSE_GRANTED:
+            self.grants += 1
+            lease = data.get("lease")
+            if lease in self._lease_state:
+                self._violate(f"lease {lease} granted twice")
+            self._lease_state[lease] = "active"
+            self._lease_split[lease] = bool(data.get("split"))
+            self._lease_proc[lease] = event.proc
+        elif kind is EventKind.LSE_RENEWED:
+            self.renewals += 1
+            lease = data.get("lease")
+            if self._lease_state.get(lease) != "active":
+                self._violate(
+                    f"lease {lease} renewed while "
+                    f"{self._lease_state.get(lease, 'never granted')}"
+                )
+        elif kind is EventKind.LSE_COMPLETED:
+            self.completions += 1
+            lease = data.get("lease")
+            task = data.get("task")
+            if self._lease_state.get(lease) != "active":
+                self._violate(
+                    f"lease {lease} completed while "
+                    f"{self._lease_state.get(lease, 'never granted')}"
+                )
+            self._lease_state[lease] = "completed"
+            if not data.get("split"):
+                if task in self._completed_tasks:
+                    self._violate(
+                        f"task {task} completed twice (rows committed "
+                        f"twice) — exactly-once violated"
+                    )
+                if task in self._replayed_tasks:
+                    self._violate(
+                        f"task {task} completed live after being replayed "
+                        f"from the journal — rows double-counted"
+                    )
+                self._completed_tasks[task] = data.get("rows", 0)
+        elif kind is EventKind.LSE_EXPIRED:
+            self.expirations += 1
+            lease = data.get("lease")
+            task = data.get("task")
+            if self._lease_state.get(lease) != "active":
+                self._violate(
+                    f"lease {lease} expired while "
+                    f"{self._lease_state.get(lease, 'never granted')}"
+                )
+            self._lease_state[lease] = "expired"
+            proc = self._lease_proc.get(lease, event.proc)
+            self._expiries_by_proc[proc] = self._expiries_by_proc.get(proc, 0) + 1
+            if not data.get("split"):
+                self._pending_requeues[task] = (
+                    self._pending_requeues.get(task, 0) + 1
+                )
+        elif kind is EventKind.LSE_REQUEUED:
+            self.requeues += 1
+            task = data.get("task")
+            pending = self._pending_requeues.get(task, 0)
+            if pending <= 0:
+                self._violate(
+                    f"task {task} requeued without an expired primary lease"
+                )
+            else:
+                self._pending_requeues[task] = pending - 1
+        elif kind is EventKind.LSE_DUP_DROPPED:
+            self.dup_dropped += 1
+            task = data.get("task")
+            if (
+                task not in self._completed_tasks
+                and task not in self._replayed_tasks
+            ):
+                self._violate(
+                    f"duplicate result for task {task} dropped, but no "
+                    f"first copy was ever committed or replayed"
+                )
+        elif kind is EventKind.JNL_REPLAYED:
+            task = data.get("task")
+            if task in self._completed_tasks:
+                self._violate(
+                    f"task {task} replayed from the journal after "
+                    f"completing live — rows double-counted"
+                )
+            if task in self._replayed_tasks:
+                self._violate(f"task {task} replayed twice")
+            self._replayed_tasks[task] = data.get("rows", 0)
+        elif kind is EventKind.JNL_APPENDED:
+            self.journal_appends += 1
+        elif kind is EventKind.JNL_SCANNED:
+            self.journal_scans += 1
+            self._scanned_torn_total += data.get("torn", 0)
+        elif kind is EventKind.JNL_TORN_DETECTED:
+            self.torn_detected += 1
+        elif kind is EventKind.FLT_INJECT_TASK_KILL:
+            self.task_kills += 1
+            self._kills_by_proc[event.proc] = (
+                self._kills_by_proc.get(event.proc, 0) + 1
+            )
+        elif kind is EventKind.FLT_INJECT_TORN_APPEND:
+            self.torn_injected += 1
+        elif kind is EventKind.RUN_END:
+            if "candidates" in data:
+                self._run_end_candidates = data["candidates"]
+
+    def at_end(self) -> None:
+        leaked = sorted(
+            lease
+            for lease, state in self._lease_state.items()
+            if state == "active"
+        )
+        for lease in leaked[:MAX_STORED_VIOLATIONS]:
+            self._violate(
+                f"lease {lease} still active at end of stream — never "
+                f"completed nor expired"
+            )
+        self.violation_count += max(0, len(leaked) - MAX_STORED_VIOLATIONS)
+        for task, pending in sorted(self._pending_requeues.items()):
+            if pending > 0:
+                self._violate(
+                    f"task {task}: {pending} expired primary lease(s) "
+                    f"never requeued — the orphan is lost"
+                )
+        for proc, kills in sorted(self._kills_by_proc.items()):
+            expiries = self._expiries_by_proc.get(proc, 0)
+            if expiries < kills:
+                self._violate(
+                    f"P{proc}: {kills} injected task kill(s) but only "
+                    f"{expiries} lease expiries — a kill went undetected"
+                )
+        if self.journal_scans and self._scanned_torn_total != self.torn_detected:
+            self._violate(
+                f"journal scans report {self._scanned_torn_total} torn "
+                f"record(s) but {self.torn_detected} were traced"
+            )
+        if self._run_end_candidates is not None and (
+            self._completed_tasks or self._replayed_tasks
+        ):
+            accounted = sum(self._completed_tasks.values()) + sum(
+                self._replayed_tasks.values()
+            )
+            if accounted != self._run_end_candidates:
+                self._violate(
+                    f"RUN_END reports {self._run_end_candidates} result "
+                    f"rows but the lease/journal ledger accounts for "
+                    f"{accounted} — rows lost or double-counted"
+                )
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "grants": self.grants,
+            "completions": self.completions,
+            "expirations": self.expirations,
+            "requeues": self.requeues,
+            "renewals": self.renewals,
+            "dup_dropped": self.dup_dropped,
+            "replayed": len(self._replayed_tasks),
+            "task_kills": self.task_kills,
+            "torn_injected": self.torn_injected,
+            "torn_detected": self.torn_detected,
+            "journal_appends": self.journal_appends,
+        }
+
+
 def default_checkers() -> list[InvariantChecker]:
     """One fresh instance of every standard checker."""
     return [
@@ -891,6 +1122,27 @@ def default_checkers() -> list[InvariantChecker]:
         # Vacuous without FLT_*/SUP_* events, so it rides on every run and
         # bites only when fault injection is active.
         ResilienceAccountingChecker(),
+        # Likewise vacuous without LSE_*/JNL_* recovery events.
+        RecoveryAccountingChecker(),
+    ]
+
+
+def recovery_checkers() -> list[InvariantChecker]:
+    """Fresh checkers for a recovery-enabled (lease/journal) join run.
+
+    Task conservation is deliberately absent: under injected kills a dead
+    processor lawfully abandons pending pairs and a requeued orphan
+    lawfully re-enqueues the same page-id pairs, both of which the
+    exactly-once semantics of :class:`RecoveryAccountingChecker` cover at
+    the task level instead.
+    """
+    return [
+        StealSoundnessChecker(),
+        BufferCoherenceChecker(),
+        DiskAccountingChecker(),
+        ClockMonotonicityChecker(),
+        ResilienceAccountingChecker(),
+        RecoveryAccountingChecker(),
     ]
 
 

@@ -93,6 +93,28 @@ class EventKind(str, enum.Enum):
     FLT_INJECT_SLOW_IO = "flt_inject_slow_io"
     FLT_INJECT_CORRUPT = "flt_inject_corrupt"
 
+    # fault injection (repro.recovery seams)
+    FLT_INJECT_TASK_KILL = "flt_inject_task_kill"    # processor dies at a task
+    FLT_INJECT_TORN_APPEND = "flt_inject_torn_append"  # journal write torn
+
+    # task leases (repro.recovery) — grants must reconcile with
+    # completions + expirations; every expiry requeues its task.
+    LSE_GRANTED = "lse_granted"
+    LSE_RENEWED = "lse_renewed"
+    LSE_EXPIRED = "lse_expired"
+    LSE_COMPLETED = "lse_completed"
+    LSE_REQUEUED = "lse_requeued"
+    #: A late duplicate result (hung holder finishing after its lease
+    #: expired and the task was re-run) discarded by the exactly-once
+    #: result ledger.
+    LSE_DUP_DROPPED = "lse_dup_dropped"
+
+    # durable join journal (repro.recovery.journal)
+    JNL_APPENDED = "jnl_appended"
+    JNL_SCANNED = "jnl_scanned"
+    JNL_TORN_DETECTED = "jnl_torn_detected"
+    JNL_REPLAYED = "jnl_replayed"
+
     # resilience / supervision — the recovery ledger
     SUP_CALL_OK = "sup_call_ok"            # a faulted call completed anyway
     SUP_CALL_FAILED = "sup_call_failed"    # one pool call failed (typed)

@@ -154,3 +154,43 @@ class TestMultiprocessingRefinement:
             )
             assert set(answers) == expected
             assert len(answers) == len(set(answers))
+
+
+class TestWorkerDeathRegression:
+    """A worker dying mid-range must not lose its whole static share.
+
+    The legacy path handed each process one contiguous task range; the
+    recoverable path leases chunk-sized pieces instead, so a death costs
+    one chunk-redispatch, not a quarter of the join.
+    """
+
+    @pytest.mark.skipif(
+        "fork" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="requires the fork start method",
+    )
+    def test_killed_worker_loses_one_chunk_not_its_range(self, trees):
+        from repro.faults import FaultPlan
+        from repro.join.mp import fault_tolerant_join
+        from repro.recovery import RecoveryConfig
+
+        tree_r, tree_s = trees
+        expected = sequential_join(tree_r, tree_s).pair_set()
+        recovery = RecoveryConfig(
+            lease_s=5.0, heartbeat_s=0.5, sweep_s=0.05, chunk_tasks=2
+        )
+        # Kill whichever worker starts task 4 — mid-chunk, mid-range.
+        pairs, stats = fault_tolerant_join(
+            tree_r,
+            tree_s,
+            2,
+            recovery=recovery,
+            faults=FaultPlan(seed=0, kill_at_task=(4,)),
+        )
+        assert set(pairs) == expected
+        assert len(pairs) == len(set(pairs))
+        # The dead worker's chunk was re-dispatched to the pool — no
+        # serial fallback, and only the killed chunk was re-run.
+        assert stats["inline_runs"] == 0
+        assert stats["redispatches"] == 1
+        assert stats["fault_counts"]["task_kills"] == 1
+        assert stats["tasks_committed"] == stats["chunks"]

@@ -1,0 +1,109 @@
+"""Unit tests for the CRC-framed join journal: round-trips, torn tails,
+first-wins completions, and self-healing appends."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.recovery import JoinJournal, scan_journal
+from repro.trace import EventKind, ListSink, Tracer
+
+
+class TestRoundTrip:
+    def test_records_survive_close_and_scan(self, tmp_path):
+        path = str(tmp_path / "join.jnl")
+        with JoinJournal(path) as journal:
+            journal.append("meta", mode="test", tasks=2)
+            journal.append("grant", task=0, holder=1)
+            journal.append("complete", task=0, rows=[[1, 2], [3, 4]])
+        scan = scan_journal(path)
+        assert scan.torn == 0
+        assert scan.meta == {"type": "meta", "mode": "test", "tasks": 2}
+        assert scan.completions()[0]["rows"] == [[1, 2], [3, 4]]
+        assert scan.grants() == [{"type": "grant", "task": 0, "holder": 1}]
+
+    def test_missing_file_scans_empty(self, tmp_path):
+        scan = scan_journal(str(tmp_path / "absent.jnl"))
+        assert scan.records == [] and scan.torn == 0
+
+    def test_first_completion_wins(self, tmp_path):
+        path = str(tmp_path / "join.jnl")
+        with JoinJournal(path) as journal:
+            journal.append("complete", task=3, rows=[[1, 1]])
+            journal.append("complete", task=3, rows=[[9, 9]])
+        assert scan_journal(path).completions()[3]["rows"] == [[1, 1]]
+
+    def test_reopen_appends_after_existing(self, tmp_path):
+        path = str(tmp_path / "join.jnl")
+        with JoinJournal(path) as journal:
+            journal.append("complete", task=0, rows=[])
+        with JoinJournal(path) as journal:
+            assert set(journal.existing.completions()) == {0}
+            journal.append("complete", task=1, rows=[])
+        assert set(scan_journal(path).completions()) == {0, 1}
+
+
+class TestTornWrites:
+    def test_truncated_tail_is_tolerated(self, tmp_path):
+        path = str(tmp_path / "join.jnl")
+        with JoinJournal(path) as journal:
+            journal.append("complete", task=0, rows=[[1, 2]])
+            journal.append("complete", task=1, rows=[[3, 4]])
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[:-7])  # emulate a crash mid-write
+        scan = scan_journal(path)
+        assert scan.torn == 1
+        assert scan.completions()[0]["rows"] == [[1, 2]]
+
+    def test_corrupted_byte_fails_the_crc_frame(self, tmp_path):
+        path = str(tmp_path / "join.jnl")
+        with JoinJournal(path) as journal:
+            journal.append("complete", task=0, rows=[[1, 2]])
+        with open(path, "rb") as handle:
+            data = bytearray(handle.read())
+        data[12] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+        scan = scan_journal(path)
+        assert scan.torn == 1 and scan.completions() == {}
+
+    def test_injected_tear_self_heals_on_next_append(self, tmp_path):
+        path = str(tmp_path / "join.jnl")
+        injector = FaultInjector(FaultPlan(seed=11, torn_append_p=1.0))
+        with JoinJournal(path, injector=injector) as journal:
+            journal.append("complete", task=0, rows=[[1, 2]])
+            assert journal.torn_appends == 1
+        # The torn record is unreadable, but the file stays appendable:
+        # the next (intact) append terminates the torn line first.
+        with JoinJournal(path) as journal:
+            journal.append("complete", task=1, rows=[[3, 4]])
+        scan = scan_journal(path)
+        assert scan.torn == 1
+        assert set(scan.completions()) == {1}
+
+    def test_scan_traces_torn_totals(self, tmp_path):
+        path = str(tmp_path / "join.jnl")
+        injector = FaultInjector(FaultPlan(seed=2, torn_append_p=1.0))
+        with JoinJournal(path, injector=injector) as journal:
+            journal.append("complete", task=0, rows=[])
+        sink = ListSink()
+        scan_journal(path, tracer=Tracer(sinks=[sink]))
+        kinds = [e.kind for e in sink.events]
+        assert kinds.count(EventKind.JNL_TORN_DETECTED) == 1
+        scanned = [e for e in sink.events if e.kind is EventKind.JNL_SCANNED]
+        assert len(scanned) == 1 and scanned[0].data["torn"] == 1
+
+
+class TestAppendGuards:
+    def test_append_after_close_raises(self, tmp_path):
+        journal = JoinJournal(str(tmp_path / "join.jnl"))
+        journal.close()
+        with pytest.raises(ValueError):
+            journal.append("meta")
+
+    def test_fsync_mode_round_trips(self, tmp_path):
+        path = str(tmp_path / "join.jnl")
+        with JoinJournal(path, fsync=True) as journal:
+            journal.append("complete", task=0, rows=[[5, 6]])
+        assert scan_journal(path).completions()[0]["rows"] == [[5, 6]]

@@ -1,0 +1,151 @@
+"""The fork-path fault-tolerant join: chunked leases, redispatch after
+worker death, interrupt-then-resume through the durable journal."""
+
+import multiprocessing
+
+import pytest
+
+from repro.datagen import build_tree, paper_maps
+from repro.faults import FaultPlan
+from repro.join import sequential_join
+from repro.join.mp import fault_tolerant_join
+from repro.join.parallel import prepare_trees
+from repro.recovery import (
+    JoinInterrupted,
+    RecoveryConfig,
+    ResumeReport,
+    resume_join,
+    run_recoverable_join,
+)
+from repro.trace import ListSink, Tracer, recovery_checkers, run_checkers
+
+FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not FORK, reason="requires the fork start method")
+
+FAST = RecoveryConfig(lease_s=5.0, heartbeat_s=0.5, sweep_s=0.05)
+
+
+@pytest.fixture(scope="module")
+def trees():
+    m1, m2 = paper_maps(scale=0.01)
+    tree_r, tree_s = build_tree(m1), build_tree(m2)
+    prepare_trees(tree_r, tree_s)
+    return tree_r, tree_s
+
+
+@pytest.fixture(scope="module")
+def expected(trees):
+    return sequential_join(*trees).pair_set()
+
+
+def assert_lawful(sink):
+    for verdict in run_checkers(sink.events, recovery_checkers()):
+        assert verdict.ok, (verdict.checker, verdict.violations)
+
+
+class TestHealthyRuns:
+    @needs_fork
+    def test_matches_sequential(self, trees, expected):
+        pairs, stats = fault_tolerant_join(*trees, 2, recovery=FAST)
+        assert set(pairs) == expected
+        assert len(pairs) == len(set(pairs))
+        assert stats["redispatches"] == 0
+        assert stats["tasks_committed"] == stats["chunks"]
+
+    def test_serial_fallback_matches(self, trees, expected):
+        pairs, stats = fault_tolerant_join(*trees, 1, recovery=FAST)
+        assert set(pairs) == expected
+        assert stats["tasks_committed"] == stats["chunks"]
+
+    def test_empty_trees(self):
+        from repro.rtree import RStarTree
+
+        empty = RStarTree()
+        pairs, stats = fault_tolerant_join(empty, empty, 2, recovery=FAST)
+        assert pairs == [] and stats["chunks"] == 0
+
+
+class TestKilledWorkers:
+    @needs_fork
+    def test_targeted_kills_are_redispatched(self, trees, expected):
+        sink = ListSink()
+        pairs, stats = fault_tolerant_join(
+            *trees,
+            2,
+            recovery=FAST,
+            faults=FaultPlan(seed=1, kill_at_task=(0, 7)),
+            tracer=Tracer(sinks=[sink]),
+        )
+        assert set(pairs) == expected
+        assert len(pairs) == len(set(pairs))
+        assert stats["redispatches"] >= 1
+        assert stats["expired"] >= 1
+        assert stats["fault_counts"]["task_kills"] >= 1
+        assert_lawful(sink)
+
+    @needs_fork
+    def test_probabilistic_kills_still_exactly_once(self, trees, expected):
+        sink = ListSink()
+        pairs, stats = fault_tolerant_join(
+            *trees,
+            2,
+            recovery=FAST,
+            faults=FaultPlan(seed=9, task_kill_p=0.4),
+            tracer=Tracer(sinks=[sink]),
+        )
+        assert set(pairs) == expected
+        assert len(pairs) == len(set(pairs))
+        assert_lawful(sink)
+
+
+class TestInterruptAndResume:
+    @needs_fork
+    def test_stop_after_commits_raises_and_resume_finishes(
+        self, trees, expected, tmp_path
+    ):
+        journal = str(tmp_path / "mp.jnl")
+        stopping = RecoveryConfig(
+            lease_s=5.0,
+            heartbeat_s=0.5,
+            sweep_s=0.05,
+            journal_path=journal,
+            stop_after_commits=3,
+        )
+        with pytest.raises(JoinInterrupted):
+            fault_tolerant_join(*trees, 2, recovery=stopping)
+
+        report = resume_join(journal, *trees, processes=2, recovery=FAST)
+        assert isinstance(report, ResumeReport)
+        assert set(report.pairs) == expected
+        assert len(report.pairs) == len(set(report.pairs))
+        assert report.replayed_chunks >= 3
+        assert report.rerun_chunks >= 1
+        assert report.complete
+
+    def test_run_recoverable_join_is_resume_with_an_empty_journal(
+        self, trees, expected, tmp_path
+    ):
+        journal = str(tmp_path / "mp.jnl")
+        report = run_recoverable_join(
+            *trees, journal_path=journal, processes=1, recovery=FAST
+        )
+        assert set(report.pairs) == expected
+        assert report.replayed_chunks == 0
+        assert report.complete
+
+        # Resuming a finished join re-runs nothing.
+        again = resume_join(journal, *trees, processes=1, recovery=FAST)
+        assert set(again.pairs) == expected
+        assert again.rerun_chunks == 0
+        assert again.replayed_chunks == report.rerun_chunks
+
+    def test_resume_against_other_trees_is_rejected(self, trees, tmp_path):
+        journal = str(tmp_path / "mp.jnl")
+        run_recoverable_join(
+            *trees, journal_path=journal, processes=1, recovery=FAST
+        )
+        m1, m2 = paper_maps(scale=0.02)
+        other_r, other_s = build_tree(m1), build_tree(m2)
+        prepare_trees(other_r, other_s)
+        with pytest.raises(ValueError, match="journal"):
+            resume_join(journal, other_r, other_s, processes=1, recovery=FAST)

@@ -290,7 +290,7 @@ class TestClockMonotonicity:
 
 
 class TestCheckerPlumbing:
-    def test_default_checkers_are_the_six_standard_ones(self):
+    def test_default_checkers_are_the_standard_ones(self):
         names = [checker.name for checker in default_checkers()]
         assert names == [
             "task-conservation",
@@ -299,6 +299,7 @@ class TestCheckerPlumbing:
             "disk-accounting",
             "clock-monotonicity",
             "resilience-accounting",
+            "recovery-accounting",
         ]
 
     def test_run_checkers_replays_everything(self):
@@ -306,7 +307,7 @@ class TestCheckerPlumbing:
         s.emit(EventKind.RUN_START, disks=2, reassign_level="all", task_level=1)
         s.emit(EventKind.RUN_END)
         verdicts = run_checkers(s.events)
-        assert len(verdicts) == 6
+        assert len(verdicts) == 7
         assert all(v.ok for v in verdicts)
 
     def test_violation_storage_is_capped(self):

@@ -1,0 +1,146 @@
+"""RecoveryAccountingChecker on handcrafted lease/journal event streams."""
+
+from repro.trace import EventKind, RecoveryAccountingChecker, TraceEvent
+
+
+class Stream:
+    def __init__(self):
+        self.events: list[TraceEvent] = []
+        self.now = 0.0
+
+    def emit(self, kind, proc=-1, **data):
+        self.events.append(TraceEvent(len(self.events), self.now, kind, proc, data))
+        return self
+
+
+def verdict_of(events):
+    checker = RecoveryAccountingChecker()
+    for event in events:
+        checker.handle(event)
+    return checker.finish()
+
+
+def lawful_stream():
+    """Grant → kill → expire+requeue → regrant → complete, plus a replay."""
+    s = Stream()
+    s.emit(EventKind.JNL_SCANNED, records=1, torn=0, path="j")
+    s.emit(EventKind.JNL_REPLAYED, task=9, rows=2)
+    s.emit(EventKind.LSE_GRANTED, proc=0, task=1, lease=0, split=0)
+    s.emit(EventKind.LSE_RENEWED, proc=0, task=1, lease=0)
+    s.emit(EventKind.FLT_INJECT_TASK_KILL, proc=0, task=1)
+    s.emit(EventKind.LSE_EXPIRED, proc=0, task=1, lease=0, split=0, reason="deadline")
+    s.emit(EventKind.LSE_REQUEUED, proc=0, task=1)
+    s.emit(EventKind.LSE_GRANTED, proc=1, task=1, lease=1, split=0)
+    s.emit(EventKind.LSE_COMPLETED, proc=1, task=1, lease=1, split=0, rows=3)
+    s.emit(EventKind.RUN_END, candidates=5)
+    return s
+
+
+class TestLawfulStreams:
+    def test_kill_expire_requeue_complete_passes(self):
+        verdict = verdict_of(lawful_stream().events)
+        assert verdict.ok, verdict.violations
+        assert verdict.stats["grants"] == 2
+        assert verdict.stats["requeues"] == 1
+        assert verdict.stats["replayed"] == 1
+        assert verdict.stats["task_kills"] == 1
+
+    def test_empty_stream_is_vacuous(self):
+        assert verdict_of([]).ok
+
+    def test_split_lease_needs_no_requeue(self):
+        s = Stream()
+        s.emit(EventKind.LSE_GRANTED, proc=0, task=1, lease=0, split=0)
+        s.emit(EventKind.LSE_GRANTED, proc=1, task=1, lease=1, split=1)
+        s.emit(EventKind.LSE_EXPIRED, proc=1, task=1, lease=1, split=1, reason="attempt")
+        s.emit(EventKind.LSE_COMPLETED, proc=0, task=1, lease=0, split=0, rows=0)
+        assert verdict_of(s.events).ok
+
+    def test_dup_drop_after_commit_is_lawful(self):
+        s = lawful_stream()
+        # Insert before RUN_END so ordering stays realistic.
+        s.events.insert(
+            -1,
+            TraceEvent(
+                len(s.events), 0.0, EventKind.LSE_DUP_DROPPED, 0, {"task": 1}
+            ),
+        )
+        assert verdict_of(s.events).ok
+
+
+class TestViolations:
+    def test_leaked_lease_detected(self):
+        s = Stream()
+        s.emit(EventKind.LSE_GRANTED, proc=0, task=1, lease=0, split=0)
+        verdict = verdict_of(s.events)
+        assert not verdict.ok
+        assert any("still active" in v for v in verdict.violations)
+
+    def test_renew_of_expired_lease_detected(self):
+        s = Stream()
+        s.emit(EventKind.LSE_GRANTED, proc=0, task=1, lease=0, split=0)
+        s.emit(EventKind.LSE_EXPIRED, proc=0, task=1, lease=0, split=0, reason="x")
+        s.emit(EventKind.LSE_REQUEUED, proc=0, task=1)
+        s.emit(EventKind.LSE_RENEWED, proc=0, task=1, lease=0)
+        verdict = verdict_of(s.events)
+        assert any("renewed while expired" in v for v in verdict.violations)
+
+    def test_double_completion_of_one_task_detected(self):
+        s = Stream()
+        for lease in (0, 1):
+            s.emit(EventKind.LSE_GRANTED, proc=lease, task=1, lease=lease, split=0)
+            s.emit(
+                EventKind.LSE_COMPLETED, proc=lease, task=1, lease=lease, split=0, rows=1
+            )
+        verdict = verdict_of(s.events)
+        assert any("exactly-once" in v for v in verdict.violations)
+
+    def test_unrequeued_orphan_detected(self):
+        s = Stream()
+        s.emit(EventKind.LSE_GRANTED, proc=0, task=1, lease=0, split=0)
+        s.emit(EventKind.LSE_EXPIRED, proc=0, task=1, lease=0, split=0, reason="x")
+        verdict = verdict_of(s.events)
+        assert any("never requeued" in v for v in verdict.violations)
+
+    def test_requeue_without_expiry_detected(self):
+        s = Stream()
+        s.emit(EventKind.LSE_REQUEUED, proc=0, task=1)
+        verdict = verdict_of(s.events)
+        assert any("without an expired" in v for v in verdict.violations)
+
+    def test_replay_after_live_completion_detected(self):
+        s = Stream()
+        s.emit(EventKind.LSE_GRANTED, proc=0, task=1, lease=0, split=0)
+        s.emit(EventKind.LSE_COMPLETED, proc=0, task=1, lease=0, split=0, rows=1)
+        s.emit(EventKind.JNL_REPLAYED, task=1, rows=1)
+        verdict = verdict_of(s.events)
+        assert any("double-counted" in v for v in verdict.violations)
+
+    def test_dup_drop_without_first_copy_detected(self):
+        s = Stream()
+        s.emit(EventKind.LSE_DUP_DROPPED, proc=0, task=4)
+        verdict = verdict_of(s.events)
+        assert any("no first copy" in v for v in verdict.violations)
+
+    def test_undetected_kill_flagged(self):
+        s = Stream()
+        s.emit(EventKind.LSE_GRANTED, proc=0, task=1, lease=0, split=0)
+        s.emit(EventKind.FLT_INJECT_TASK_KILL, proc=0, task=1)
+        s.emit(EventKind.LSE_COMPLETED, proc=0, task=1, lease=0, split=0, rows=1)
+        verdict = verdict_of(s.events)
+        assert any("undetected" in v for v in verdict.violations)
+
+    def test_torn_counts_must_reconcile(self):
+        s = Stream()
+        s.emit(EventKind.JNL_SCANNED, records=0, torn=2, path="j")
+        s.emit(EventKind.JNL_TORN_DETECTED, bytes=10)
+        verdict = verdict_of(s.events)
+        assert any("torn" in v for v in verdict.violations)
+
+    def test_run_end_row_mismatch_detected(self):
+        s = lawful_stream()
+        s.events[-1] = TraceEvent(
+            len(s.events), 0.0, EventKind.RUN_END, -1, {"candidates": 99}
+        )
+        verdict = verdict_of(s.events)
+        assert any("rows lost or double-counted" in v for v in verdict.violations)
