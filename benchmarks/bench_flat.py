@@ -1,0 +1,176 @@
+"""Head-to-head: the flat packed backend vs the pointer R*-tree.
+
+Runs the three hot kernels — window query, k-NN and the join filter —
+plus the fork-based multiprocessing join over both backends on the same
+maps, asserting identical result sets while timing each side.  Writes
+``BENCH_flat.json`` (untagged — this bench *is* the backend comparison)
+with the per-operation wall times and speedups.
+"""
+
+import random
+import time
+
+from repro.bench import (
+    active_scale,
+    heading,
+    render_table,
+    report,
+    report_json,
+)
+from repro.datagen import build_tree
+from repro.geometry import Rect
+from repro.join import multiprocessing_join, sequential_join
+from repro.query.batch import multi_window_query
+from repro.rtree import build_flat_tree
+from repro.rtree.query import nearest_neighbors
+
+#: Query workload sizes (per backend, identical seeds).
+WINDOW_QUERIES = 300
+KNN_QUERIES = 120
+KNN_K = 10
+
+
+def _best_of(fn, repeat=3):
+    """Best-of-*repeat* wall time and the last result."""
+    best = float("inf")
+    value = None
+    for _ in range(repeat):
+        started = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, value
+
+
+def _windows(region, count, seed):
+    rng = random.Random(seed)
+    side = region.side
+    out = []
+    for _ in range(count):
+        extent = rng.uniform(0.01, 0.08) * side
+        x = rng.uniform(0, side - extent)
+        y = rng.uniform(0, side - extent)
+        out.append(Rect(x, y, x + extent, y + extent))
+    return out
+
+
+def _points(region, count, seed):
+    rng = random.Random(seed)
+    side = region.side
+    return [(rng.uniform(0, side), rng.uniform(0, side)) for _ in range(count)]
+
+
+def run_head_to_head(workload):
+    if workload.backend == "flat":
+        flat1, flat2 = workload.tree1, workload.tree2
+        node1, node2 = flat1.as_node_tree(), flat2.as_node_tree()
+    else:
+        node1, node2 = workload.tree1, workload.tree2
+        flat1 = build_flat_tree(workload.map1)
+        flat2 = build_flat_tree(workload.map2)
+
+    region = workload.map1.region
+    windows = _windows(region, WINDOW_QUERIES, seed=101)
+    points = _points(region, KNN_QUERIES, seed=102)
+    rows = []
+
+    def row(op, node_s, flat_s):
+        rows.append(
+            {
+                "operation": op,
+                "node (s)": node_s,
+                "flat (s)": flat_s,
+                "speedup": node_s / flat_s if flat_s else float("inf"),
+            }
+        )
+        return rows[-1]
+
+    # Build: STR bulk load vs Z-order pack over the same items.
+    t_node, _ = _best_of(lambda: build_tree(workload.map1), repeat=1)
+    t_flat, _ = _best_of(lambda: build_flat_tree(workload.map1), repeat=1)
+    row("build map1", t_node, t_flat)
+
+    # Window queries: the batch entry point, answered each backend's
+    # natural way — shared node traversal vs one broadcast frontier for
+    # the whole batch.
+    def win(tree):
+        return [
+            sorted(e.oid for e in hits)
+            for hits in multi_window_query(tree, windows)
+        ]
+
+    t_node, node_hits = _best_of(lambda: win(node1))
+    t_flat, flat_hits = _best_of(lambda: win(flat1))
+    assert node_hits == flat_hits, "window result sets differ across backends"
+    window_row = row(f"{WINDOW_QUERIES} window queries", t_node, t_flat)
+
+    # k-NN: vectorized mindist vs per-entry Python distances.
+    def knn(tree):
+        return [
+            [(d, e.oid) for d, e in nearest_neighbors(tree, x, y, KNN_K)]
+            for x, y in points
+        ]
+
+    t_node, node_nn = _best_of(lambda: knn(node1))
+    t_flat, flat_nn = _best_of(lambda: knn(flat1))
+    assert node_nn == flat_nn, "k-NN answers differ across backends"
+    row(f"{KNN_QUERIES} x {KNN_K}-NN queries", t_node, t_flat)
+
+    # Join filter: the vectorized frontier vs the BKS93 plane sweep
+    # (best-of-2: the first flat run pays numpy's cold allocations).
+    t_node, node_pairs = _best_of(
+        lambda: sequential_join(node1, node2).pairs, repeat=2
+    )
+    t_flat, flat_pairs = _best_of(
+        lambda: sequential_join(flat1, flat2).pairs, repeat=2
+    )
+    assert set(node_pairs) == set(flat_pairs), "join pair sets differ"
+    join_row = row("join filter (sequential)", t_node, t_flat)
+
+    # Fork path: inherited pointer trees vs inherited packed arrays.
+    t_node, node_mp = _best_of(
+        lambda: multiprocessing_join(node1, node2, 4), repeat=1
+    )
+    t_flat, flat_mp = _best_of(
+        lambda: multiprocessing_join(flat1, flat2, 4), repeat=1
+    )
+    assert set(node_mp) == set(flat_mp) == set(node_pairs)
+    row("join filter (mp, 4 procs)", t_node, t_flat)
+
+    return rows, window_row, join_row, len(node_pairs)
+
+
+def bench_flat_backend(benchmark, workload):
+    started = time.perf_counter()
+    rows, window_row, join_row, pair_count = benchmark.pedantic(
+        run_head_to_head, args=(workload,), rounds=1, iterations=1
+    )
+    wall = time.perf_counter() - started
+    report(
+        "flat",
+        heading(
+            f"Flat packed backend vs node R*-tree (scale={active_scale()})"
+        )
+        + "\n"
+        + render_table(rows, ["operation", "node (s)", "flat (s)", "speedup"]),
+        tagged=False,
+    )
+    report_json(
+        "flat",
+        {
+            "bench": "flat",
+            "scale": active_scale(),
+            "wall_time_s": wall,
+            "config": {
+                "window_queries": WINDOW_QUERIES,
+                "knn_queries": KNN_QUERIES,
+                "knn_k": KNN_K,
+                "join_pairs": pair_count,
+            },
+            "rows": rows,
+        },
+        tagged=False,
+    )
+    # The roadmap's acceptance bar: the packed backend must beat the
+    # pointer tree on the window-query and join-filter kernels.
+    assert window_row["speedup"] > 1, f"window query: {window_row}"
+    assert join_row["speedup"] > 1, f"join filter: {join_row}"

@@ -28,6 +28,8 @@ from .tasks import PairWindow, Task, count_root_tasks, create_tasks, expand_node
 
 __all__ = [
     "sequential_join",
+    "flat_join",
+    "flat_multiprocessing_join",
     "SequentialJoinResult",
     "parallel_spatial_join",
     "ParallelJoinConfig",
@@ -62,3 +64,15 @@ __all__ = [
     "MultiStepResult",
     "multi_step_join",
 ]
+
+_LAZY = {"flat_join", "flat_multiprocessing_join"}
+
+
+def __getattr__(name):
+    # The flat-backend join needs numpy; load it only when actually asked
+    # for, so the node-tree core keeps working on numpy-free installs.
+    if name in _LAZY:
+        from . import flat
+
+        return getattr(flat, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

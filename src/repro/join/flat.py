@@ -1,0 +1,371 @@
+"""Vectorized spatial-join filter over the flat packed backend.
+
+The synchronized traversal of [BKS 93] tests every child of node R
+against every child of node S; on the pointer backend that is a Python
+plane sweep per node pair.  Here the whole *frontier* of qualifying node
+pairs descends one level per round, and all its ``M x N`` child-pair
+intersection tests run as **one** numpy broadcast — the node-vs-node
+filter the roadmap asks to SIMD-ify.  The emitted candidate pairs are
+the exact result set of :func:`repro.join.sequential.sequential_join`
+over the same data, so everything downstream of the filter (refinement,
+window post-filters, the service pipeline) is backend-agnostic.
+
+``flat_multiprocessing_join`` is the fork path: workers inherit the
+packed arrays by copy-on-write — fork-inherits-*arrays*, the drop-in
+replacement for :mod:`repro.join.mp`'s fork-inherits-trees — and each
+executes the vectorized kernel on its static range of frontier pairs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import warnings
+from typing import Hashable, Optional
+
+import numpy as np
+
+from ..rtree.flat import FlatRTree
+from .refinement import ExactRefinement
+from .result import SequentialJoinResult
+
+__all__ = [
+    "flat_join",
+    "flat_join_pairs",
+    "create_flat_tasks",
+    "flat_multiprocessing_join",
+]
+
+
+def flat_join(
+    tree_r: FlatRTree,
+    tree_s: FlatRTree,
+    *,
+    refinement: Optional[ExactRefinement] = None,
+) -> SequentialJoinResult:
+    """All pairs of data entries with intersecting MBRs, vectorized.
+
+    Mirrors :func:`repro.join.sequential.sequential_join`: returns the
+    filter step's candidate pairs (or, with *refinement*, only the exact
+    answers).  ``intersection_tests`` counts the broadcast comparisons,
+    ``node_pairs_visited`` the frontier pairs expanded.
+    """
+    result = SequentialJoinResult(pairs=[])
+    if tree_r.size == 0 or tree_s.size == 0:
+        return result
+    top_r = tree_r.num_levels - 1
+    top_s = tree_s.num_levels - 1
+    pairs = _frontier_join(
+        tree_r,
+        tree_s,
+        top_r,
+        top_s,
+        np.zeros(1, dtype=np.int64),
+        np.zeros(1, dtype=np.int64),
+        result,
+    )
+    if refinement is not None:
+        pairs = refinement.filter_answers(pairs)
+    result.pairs.extend(pairs)
+    return result
+
+
+def flat_join_pairs(
+    tree_r: FlatRTree, tree_s: FlatRTree
+) -> list[tuple[Hashable, Hashable]]:
+    """Just the candidate pairs (no counters) — the kernel entry point."""
+    return flat_join(tree_r, tree_s).pairs
+
+
+def _frontier_join(
+    tree_r: FlatRTree,
+    tree_s: FlatRTree,
+    level_r: int,
+    level_s: int,
+    nodes_r: np.ndarray,
+    nodes_s: np.ndarray,
+    result: Optional[SequentialJoinResult],
+) -> list[tuple[Hashable, Hashable]]:
+    """Descend a frontier of qualifying node pairs to the data level.
+
+    ``nodes_r``/``nodes_s`` are positionally-aligned index arrays into
+    levels ``level_r``/``level_s`` of the respective trees.  The root
+    pair enters untested — like the sequential join, whose root pair is
+    popped and window-checked rather than pre-filtered — and the first
+    round's broadcast takes care of it (a root pair with disjoint MBRs
+    simply produces an all-false mask).
+    """
+    while len(nodes_r) and (level_r > 0 or level_s > 0):
+        if result is not None and level_r >= 1 and level_s >= 1:
+            result.node_pairs_visited += len(nodes_r)
+        if level_r > level_s:
+            # Unequal heights: only the taller side descends.
+            children, parent_pos = tree_r.children_of(level_r, nodes_r)
+            partner = nodes_s[parent_pos]
+            keep = _intersects(
+                tree_r, level_r - 1, children, tree_s, level_s, partner
+            )
+            if result is not None:
+                result.intersection_tests += len(children)
+            nodes_r, nodes_s = children[keep], partner[keep]
+            level_r -= 1
+            continue
+        if level_s > level_r:
+            children, parent_pos = tree_s.children_of(level_s, nodes_s)
+            partner = nodes_r[parent_pos]
+            keep = _intersects(
+                tree_r, level_r, partner, tree_s, level_s - 1, children
+            )
+            if result is not None:
+                result.intersection_tests += len(children)
+            nodes_r, nodes_s = partner[keep], children[keep]
+            level_s -= 1
+            continue
+        # Equal levels.  First the search-space restriction of [BKS 93]
+        # (tuning technique (i)), vectorized: each side's children are
+        # tested against the *partner node's* MBR, so the cross products
+        # below cover only children inside the pair's overlap window —
+        # without this, every leaf pair costs node_size^2 tests.
+        ch_r, pos_r, tested_r = _restricted_children(
+            tree_r, level_r, nodes_r, tree_s, level_s, nodes_s
+        )
+        ch_s, pos_s, tested_s = _restricted_children(
+            tree_s, level_s, nodes_s, tree_r, level_r, nodes_r
+        )
+        if result is not None:
+            result.intersection_tests += tested_r + tested_s
+        counts_r = np.bincount(pos_r, minlength=len(nodes_r))
+        counts_s = np.bincount(pos_s, minlength=len(nodes_s))
+        a, b = _cross_ragged(ch_r, counts_r, ch_s, counts_s)
+        if len(a) == 0:
+            return []
+        keep = _intersects(tree_r, level_r - 1, a, tree_s, level_s - 1, b)
+        if result is not None:
+            result.intersection_tests += len(a)
+        nodes_r, nodes_s = a[keep], b[keep]
+        level_r -= 1
+        level_s -= 1
+    if len(nodes_r) == 0:
+        return []
+    oids_r, oids_s = tree_r.oids, tree_s.oids
+    return [
+        (oids_r[a], oids_s[b])
+        for a, b in zip(nodes_r.tolist(), nodes_s.tolist())
+    ]
+
+
+def _restricted_children(tree_a, level_a, nodes_a, tree_b, level_b, nodes_b):
+    """Children of each a-node that intersect its partner b-node's MBR.
+
+    Returns ``(children, parent_pos, tested)``: the surviving child
+    indices (grouped by frontier pair, in pair order), the frontier
+    position of each survivor's parent, and how many children were
+    tested (for the counters).
+    """
+    children, parent_pos = tree_a.children_of(level_a, nodes_a)
+    keep = _intersects(
+        tree_a, level_a - 1, children, tree_b, level_b, nodes_b[parent_pos]
+    )
+    return children[keep], parent_pos[keep], len(children)
+
+
+def _cross_ragged(a_vals, a_counts, b_vals, b_counts):
+    """Cross products of positionally-aligned ragged groups.
+
+    ``a_vals``/``b_vals`` hold each frontier pair's surviving children,
+    concatenated in pair order with per-pair group sizes in
+    ``a_counts``/``b_counts``; emits all ``a_counts[p] * b_counts[p]``
+    index pairs of every pair *p* — pure integer arithmetic, no Python
+    loop.
+    """
+    sizes = a_counts * b_counts
+    total = int(sizes.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    pair_pos = np.repeat(np.arange(len(sizes), dtype=np.int64), sizes)
+    first = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+    local = np.arange(total, dtype=np.int64) - np.repeat(first, sizes)
+    a_first = np.concatenate(([0], np.cumsum(a_counts)[:-1]))
+    b_first = np.concatenate(([0], np.cumsum(b_counts)[:-1]))
+    b_count_rep = b_counts[pair_pos]
+    a = a_vals[a_first[pair_pos] + local // b_count_rep]
+    b = b_vals[b_first[pair_pos] + local % b_count_rep]
+    return a, b
+
+
+def _intersects(tree_r, level_r, idx_r, tree_s, level_s, idx_s) -> np.ndarray:
+    """Vectorized closed-interval box intersection between two levels."""
+    ar = tree_r.level_offsets[level_r] + idx_r
+    as_ = tree_s.level_offsets[level_s] + idx_s
+    return (
+        (tree_r.xmin[ar] <= tree_s.xmax[as_])
+        & (tree_s.xmin[as_] <= tree_r.xmax[ar])
+        & (tree_r.ymin[ar] <= tree_s.ymax[as_])
+        & (tree_s.ymin[as_] <= tree_r.ymax[ar])
+    )
+
+
+# ---------------------------------------------------------------------------
+# Task creation and the fork path (fork-inherits-arrays)
+# ---------------------------------------------------------------------------
+
+
+def create_flat_tasks(
+    tree_r: FlatRTree, tree_s: FlatRTree, min_tasks: int = 1
+) -> tuple[int, int, np.ndarray, np.ndarray]:
+    """Descend the qualifying frontier until it carries *min_tasks* pairs.
+
+    Returns ``(level_r, level_s, nodes_r, nodes_s)`` — the flat analogue
+    of :func:`repro.join.tasks.create_tasks`'s subtree-pair list.  Unlike
+    the node path it handles unequal tree heights (the taller side simply
+    keeps descending).
+    """
+    level_r = tree_r.num_levels - 1
+    level_s = tree_s.num_levels - 1
+    nodes_r = np.zeros(1, dtype=np.int64)
+    nodes_s = np.zeros(1, dtype=np.int64)
+    if tree_r.size == 0 or tree_s.size == 0:
+        return 1, 1, nodes_r[:0], nodes_s[:0]
+    while (level_r > 1 or level_s > 1) and len(nodes_r) < min_tasks:
+        if level_r >= level_s:
+            children, parent_pos = tree_r.children_of(level_r, nodes_r)
+            partner = nodes_s[parent_pos]
+            keep = _intersects(
+                tree_r, level_r - 1, children, tree_s, level_s, partner
+            )
+            nodes_r, nodes_s = children[keep], partner[keep]
+            level_r -= 1
+        else:
+            children, parent_pos = tree_s.children_of(level_s, nodes_s)
+            partner = nodes_r[parent_pos]
+            keep = _intersects(
+                tree_r, level_r, partner, tree_s, level_s - 1, children
+            )
+            nodes_r, nodes_s = partner[keep], children[keep]
+            level_s -= 1
+        if len(nodes_r) == 0:
+            break
+    return level_r, level_s, nodes_r, nodes_s
+
+
+#: Parked by the parent immediately before forking; inherited by the
+#: workers through copy-on-write.  Only (start, stop) range bounds travel
+#: to a worker, only oid pairs travel back.
+_FLAT_WORK: Optional[tuple] = None
+
+
+def _run_flat_range(bounds: tuple[int, int]) -> list[tuple[Hashable, Hashable]]:
+    tree_r, tree_s, level_r, level_s, nodes_r, nodes_s, geometry_r, geometry_s = (
+        _FLAT_WORK
+    )
+    start, stop = bounds
+    pairs = _frontier_join(
+        tree_r,
+        tree_s,
+        level_r,
+        level_s,
+        nodes_r[start:stop],
+        nodes_s[start:stop],
+        None,
+    )
+    if geometry_r is not None:
+        pairs = ExactRefinement(geometry_r, geometry_s).filter_answers(pairs)
+    return pairs
+
+
+def flat_multiprocessing_join(
+    tree_r: FlatRTree,
+    tree_s: FlatRTree,
+    processes: Optional[int] = None,
+    *,
+    geometry_r=None,
+    geometry_s=None,
+    timeout_s: Optional[float] = None,
+) -> list[tuple[Hashable, Hashable]]:
+    """The :func:`repro.join.mp.multiprocessing_join` contract on packed
+    arrays: fork workers, inherit the SoA index copy-on-write, split the
+    qualifying frontier into static ranges, run the vectorized kernel.
+
+    Same fallbacks as the node path: serial on one process or spawn-only
+    platforms (with the same warning), and a serial *rescue* recompute if
+    the pool misses ``timeout_s``.
+    """
+    if (geometry_r is None) != (geometry_s is None):
+        raise ValueError("pass geometry for both relations or for neither")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError("timeout_s must be positive (or None)")
+    if processes is None:
+        processes = min(8, os.cpu_count() or 1)
+    level_r, level_s, nodes_r, nodes_s = create_flat_tasks(
+        tree_r, tree_s, min_tasks=processes * 4
+    )
+    if len(nodes_r) == 0:
+        return []
+    fork_supported = "fork" in multiprocessing.get_all_start_methods()
+    if processes > 1 and not fork_supported:
+        warnings.warn(
+            "the 'fork' start method is unavailable on this platform "
+            "(spawn-only); flat_multiprocessing_join runs the serial "
+            "fallback — arrays cannot be inherited without serialisation",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    if processes <= 1 or not fork_supported:
+        return _serial_flat(
+            tree_r, tree_s, level_r, level_s, nodes_r, nodes_s,
+            geometry_r, geometry_s,
+        )
+
+    bounds: list[tuple[int, int]] = []
+    base, extra = divmod(len(nodes_r), processes)
+    start = 0
+    for p in range(processes):
+        size = base + (1 if p < extra else 0)
+        if size:
+            bounds.append((start, start + size))
+        start += size
+
+    global _FLAT_WORK
+    _FLAT_WORK = (  # repro: fork-init (parent-side parking)
+        tree_r, tree_s, level_r, level_s, nodes_r, nodes_s,
+        geometry_r, geometry_s,
+    )
+    timed_out = False
+    try:
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes) as pool:
+            if timeout_s is None:
+                parts = pool.map(_run_flat_range, bounds)
+            else:
+                try:
+                    parts = pool.map_async(_run_flat_range, bounds).get(
+                        timeout_s
+                    )
+                except multiprocessing.TimeoutError:
+                    timed_out = True
+    finally:
+        _FLAT_WORK = None  # repro: fork-init (parent-side unparking)
+    if timed_out:
+        warnings.warn(
+            f"flat_multiprocessing_join did not finish within {timeout_s}s; "
+            f"workers terminated, recomputing on the serial fallback path",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _serial_flat(
+            tree_r, tree_s, level_r, level_s, nodes_r, nodes_s,
+            geometry_r, geometry_s,
+        )
+    return [pair for part in parts for pair in part]
+
+
+def _serial_flat(
+    tree_r, tree_s, level_r, level_s, nodes_r, nodes_s, geometry_r, geometry_s
+) -> list:
+    pairs = _frontier_join(
+        tree_r, tree_s, level_r, level_s, nodes_r, nodes_s, None
+    )
+    if geometry_r is not None:
+        pairs = ExactRefinement(geometry_r, geometry_s).filter_answers(pairs)
+    return pairs

@@ -166,7 +166,29 @@ def multiprocessing_join(
         raise ValueError("timeout_s must be positive (or None)")
     if processes is None:
         processes = min(8, os.cpu_count() or 1)
-    if recovery is not None or journal_path is not None or faults is not None:
+    flat_r = hasattr(tree_r, "as_node_tree")  # flat packed backend
+    flat_s = hasattr(tree_s, "as_node_tree")
+    wants_recovery = (
+        recovery is not None or journal_path is not None or faults is not None
+    )
+    if flat_r and flat_s and not wants_recovery:
+        from .flat import flat_multiprocessing_join  # deferred: needs numpy
+
+        return flat_multiprocessing_join(
+            tree_r,
+            tree_s,
+            processes,
+            geometry_r=geometry_r,
+            geometry_s=geometry_s,
+            timeout_s=timeout_s,
+        )
+    # Mixed backends, or the fault-tolerant engine (leases, journal,
+    # exactly-once resume): run the node path over materialised trees.
+    if flat_r:
+        tree_r = tree_r.as_node_tree()
+    if flat_s:
+        tree_s = tree_s.as_node_tree()
+    if wants_recovery:
         pairs, _stats = fault_tolerant_join(
             tree_r,
             tree_s,

@@ -42,6 +42,18 @@ def sequential_join(
     returned.  Candidates appear in the local plane-sweep order when
     ``use_sweep`` is on.
     """
+    flat_r = hasattr(tree_r, "as_node_tree")  # flat packed backend
+    flat_s = hasattr(tree_s, "as_node_tree")
+    if flat_r and flat_s and use_restriction and use_sweep:
+        from .flat import flat_join  # deferred: needs numpy
+
+        return flat_join(tree_r, tree_s, refinement=refinement)
+    # Mixed backends (or an ablation run, whose tuning knobs have no
+    # analogue in the vectorized kernel): join the materialised node trees.
+    if flat_r:
+        tree_r = tree_r.as_node_tree()
+    if flat_s:
+        tree_s = tree_s.as_node_tree()
     result = SequentialJoinResult(pairs=[])
     if tree_r.size == 0 or tree_s.size == 0:
         return result

@@ -96,6 +96,10 @@ def create_tasks(
     are not yet leaves.  Nodes must be kept with entries sorted by ``xl``
     (see :func:`repro.join.parallel.prepare_trees`).
     """
+    if hasattr(tree_r, "as_node_tree"):  # flat packed backend
+        tree_r = tree_r.as_node_tree()
+    if hasattr(tree_s, "as_node_tree"):
+        tree_s = tree_s.as_node_tree()
     if tree_r.size == 0 or tree_s.size == 0:
         return []
     root_window = PairWindow(tree_r.root, tree_s.root)
@@ -143,6 +147,10 @@ def task_signature(tasks: list[Task]) -> str:
 
 def count_root_tasks(tree_r: RStarTree, tree_s: RStarTree) -> int:
     """m of the paper's Table 1: intersecting pairs of root entries."""
+    if hasattr(tree_r, "as_node_tree"):  # flat packed backend
+        tree_r = tree_r.as_node_tree()
+    if hasattr(tree_s, "as_node_tree"):
+        tree_s = tree_s.as_node_tree()
     if tree_r.size == 0 or tree_s.size == 0:
         return 0
     if tree_r.height == 1 or tree_s.height == 1:

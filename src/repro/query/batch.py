@@ -27,6 +27,8 @@ def multi_window_query(tree, windows: Sequence) -> list[list[Entry]]:
     returns for that window alone (as a set of entries; the visit order
     may differ because the traversal is driven by the union of windows).
     """
+    if hasattr(tree, "multi_window"):  # flat packed backend
+        return tree.multi_window(windows)
     results: list[list[Entry]] = [[] for _ in windows]
     if not windows or tree.size == 0:
         return results

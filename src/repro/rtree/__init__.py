@@ -5,7 +5,7 @@ from .entry import Entry
 from .guttman import GuttmanRTree
 from .node import Node
 from .pagestore import PageStore
-from .query import QueryStats, nearest_neighbors, window_query
+from .query import QueryStats, nearest_neighbors, oid_order_key, window_query
 from .rstar import RStarTree
 from .stats import TreeStats, tree_stats
 
@@ -14,11 +14,26 @@ __all__ = [
     "Node",
     "RStarTree",
     "GuttmanRTree",
+    "FlatRTree",
+    "build_flat_tree",
     "str_bulk_load",
     "PageStore",
     "TreeStats",
     "tree_stats",
     "window_query",
     "nearest_neighbors",
+    "oid_order_key",
     "QueryStats",
 ]
+
+_LAZY = {"FlatRTree", "build_flat_tree"}
+
+
+def __getattr__(name):
+    # The flat backend needs numpy; load it only when actually asked for,
+    # so the node-tree core keeps working on numpy-free installs.
+    if name in _LAZY:
+        from . import flat
+
+        return getattr(flat, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

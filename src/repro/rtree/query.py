@@ -7,19 +7,26 @@ module provides both over the same R*-tree:
 * :func:`window_query` — standalone window search with page-access
   accounting (how many nodes were touched), used by examples and benches;
 * :func:`nearest_neighbors` — best-first k-NN search over MBR distances.
+
+Both functions are *backend entry points*: they accept either the
+pointer-based :class:`~repro.rtree.rstar.RStarTree` or the packed
+:class:`~repro.rtree.flat.FlatRTree` (duck-typed on its ``window_entries``
+/ ``nearest`` kernels, so importing this module never pulls in numpy) and
+produce identical result sets either way.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Optional
+import math
+from typing import Hashable, Optional
 
 from ..geometry.rect import Rect
 from .entry import Entry
 from .rstar import RStarTree
 
-__all__ = ["window_query", "nearest_neighbors", "QueryStats"]
+__all__ = ["window_query", "nearest_neighbors", "QueryStats", "oid_order_key"]
 
 
 class QueryStats:
@@ -39,10 +46,34 @@ class QueryStats:
         return f"QueryStats(dir={self.directory_nodes}, leaf={self.leaf_nodes})"
 
 
+def oid_order_key(oid: Hashable) -> tuple:
+    """A total, backend-independent order over object identifiers.
+
+    Used to break k-NN ties at exactly equal distance: the entry with the
+    smaller key wins the last result slot, on every backend, regardless
+    of tree structure or insertion order.  Numbers order numerically,
+    strings lexicographically; anything else falls back to its ``repr``.
+    ``bool`` is excluded from the numeric branch on purpose (``True``
+    would collide with ``1``).
+    """
+    if isinstance(oid, (int, float)) and not isinstance(oid, bool):
+        return (0, oid, "")
+    if isinstance(oid, str):
+        return (1, 0, oid)
+    return (2, 0, repr(oid))
+
+
 def window_query(
-    tree: RStarTree, window: Rect, stats: Optional[QueryStats] = None
+    tree, window: Rect, stats: Optional[QueryStats] = None
 ) -> list[Entry]:
-    """All data entries intersecting *window*, with node-visit accounting."""
+    """All data entries intersecting *window*, with node-visit accounting.
+
+    The entry *set* is backend-independent; the order is the traversal
+    order of the chosen backend (depth-first here, ascending packed order
+    on the flat backend).
+    """
+    if hasattr(tree, "window_entries"):  # flat packed backend
+        return tree.window_entries(window, stats=stats)
     result: list[Entry] = []
     stack = [tree.root]
     while stack:
@@ -64,38 +95,53 @@ def window_query(
 
 
 def nearest_neighbors(
-    tree: RStarTree, x: float, y: float, k: int = 1
+    tree, x: float, y: float, k: int = 1
 ) -> list[tuple[float, Entry]]:
     """The *k* data entries whose MBRs are nearest to point ``(x, y)``.
 
     Classic best-first search: a priority queue ordered by minimum MBR
     distance; directory entries expand, data entries pop as results.
     Returns ``(distance, entry)`` pairs in non-decreasing distance order.
+
+    The result — including its order — is deterministic and identical on
+    every backend: ties at exactly equal distance resolve by
+    :func:`oid_order_key`.  The heap orders items by ``(distance, kind,
+    tie)`` with nodes (kind 0) ahead of data entries (kind 1), so any
+    subtree whose minimum distance ties a candidate entry is expanded
+    *before* that entry is emitted; entries therefore pop in exact
+    ``(distance, oid key)`` order.
     """
     if k < 1:
         raise ValueError("k must be at least 1")
+    if hasattr(tree, "nearest"):  # flat packed backend
+        return tree.nearest(x, y, k)
     if tree.size == 0:
         return []
-    counter = itertools.count()  # tie-break: strict weak order for heapq
-    heap: list[tuple[float, int, bool, object]] = [
-        (0.0, next(counter), False, tree.root)
-    ]
+    counter = itertools.count()  # unique seq: strict weak order for heapq
+    heap: list[tuple] = [(0.0, 0, 0, next(counter), tree.root)]
     results: list[tuple[float, Entry]] = []
     while heap and len(results) < k:
-        distance, _, is_entry, item = heapq.heappop(heap)
-        if is_entry:
+        distance, kind, _tie, _seq, item = heapq.heappop(heap)
+        if kind == 1:
             results.append((distance, item))
             continue
         for entry in item.entries:
             d = _min_distance(entry, x, y)
             if item.is_leaf:
-                heapq.heappush(heap, (d, next(counter), True, entry))
+                heapq.heappush(
+                    heap, (d, 1, oid_order_key(entry.oid), next(counter), entry)
+                )
             else:
-                heapq.heappush(heap, (d, next(counter), False, entry.child))
+                heapq.heappush(
+                    heap, (d, 0, next(counter), next(counter), entry.child)
+                )
     return results
 
 
 def _min_distance(entry: Entry, x: float, y: float) -> float:
     dx = max(entry.xl - x, x - entry.xu, 0.0)
     dy = max(entry.yl - y, y - entry.yu, 0.0)
-    return (dx * dx + dy * dy) ** 0.5
+    # math.sqrt (correctly rounded, like np.sqrt) rather than ** 0.5
+    # (libm pow, off by an ulp for some inputs): backend parity demands
+    # bit-identical distances.
+    return math.sqrt(dx * dx + dy * dy)

@@ -37,8 +37,15 @@ class TreeStats:
         }
 
 
-def tree_stats(tree: RStarTree) -> TreeStats:
-    """Compute the Table 1 statistics of *tree* in one traversal."""
+def tree_stats(tree) -> TreeStats:
+    """Compute the Table 1 statistics of *tree* in one traversal.
+
+    Accepts either backend: a flat packed tree is measured through its
+    node-tree adapter, so the numbers describe the same paged shape the
+    simulated-machine paths traverse.
+    """
+    if hasattr(tree, "as_node_tree"):  # flat packed backend
+        tree = tree.as_node_tree()
     data_pages = 0
     dir_pages = 0
     data_entries = 0

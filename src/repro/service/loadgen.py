@@ -56,13 +56,23 @@ from .model import JoinRequest, KNNRequest, WindowRequest
 __all__ = ["main", "run_load", "build_trees", "RequestFactory"]
 
 
-def build_trees(scale: float, seed: int):
-    """The two paper maps as a named-tree registry for the engine."""
+def build_trees(scale: float, seed: int, backend: str = "node"):
+    """The two paper maps as a named-tree registry for the engine.
+
+    ``backend="flat"`` serves the packed numpy backend instead: forked
+    workers then inherit contiguous arrays (copy-on-write) rather than
+    pointer trees, and every execution function dispatches transparently.
+    """
     map1, map2 = paper_maps(scale=scale, seed=seed)
-    return (
-        {"map1": build_tree(map1), "map2": build_tree(map2)},
-        map1.region,
-    )
+    if backend == "flat":
+        from ..rtree.flat import build_flat_tree  # deferred: needs numpy
+
+        trees = {"map1": build_flat_tree(map1), "map2": build_flat_tree(map2)}
+    elif backend == "node":
+        trees = {"map1": build_tree(map1), "map2": build_tree(map2)}
+    else:
+        raise ValueError(f"unknown backend {backend!r} (expected node|flat)")
+    return trees, map1.region
 
 
 class RequestFactory:
@@ -269,6 +279,12 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", type=float, default=0.02,
                         help="fraction of the paper's map sizes")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--backend",
+        choices=("node", "flat"),
+        default="node",
+        help="index backend for the served trees (flat = packed numpy)",
+    )
     parser.add_argument("--workers", type=int, default=2,
                         help="forked worker processes (0 = threads)")
     parser.add_argument("--knn-share", type=float, default=0.1)
@@ -351,7 +367,7 @@ def main(argv=None) -> int:
         f"building workload (scale={args.scale}, seed={args.seed}) ...",
         flush=True,
     )
-    trees, region = build_trees(args.scale, args.seed)
+    trees, region = build_trees(args.scale, args.seed, backend=args.backend)
     factory = RequestFactory(
         region,
         args.seed,

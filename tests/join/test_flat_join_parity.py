@@ -1,0 +1,152 @@
+"""Differential parity: joins over the flat packed backend.
+
+The vectorized frontier join, the backend dispatch inside
+``sequential_join`` / ``multiprocessing_join``, and the simulated
+LSR/GSRR/GD variants (running the packed index through its node-tree
+adapter) must all return exactly the brute-force pair set of
+:mod:`tests.flat_oracle` — for flat-vs-flat, mixed-backend and self-join
+inputs alike.
+"""
+
+import warnings
+
+import pytest
+
+from repro.join import (
+    GD,
+    GSRR,
+    LSR,
+    ParallelJoinConfig,
+    multiprocessing_join,
+    parallel_spatial_join,
+    prepare_trees,
+    sequential_join,
+)
+from repro.join.flat import flat_join, flat_join_pairs, flat_multiprocessing_join
+from repro.join.refinement import ExactRefinement
+
+from tests.flat_oracle import (
+    assert_join_parity,
+    brute_join,
+    build_both,
+    dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    items_r = dataset("uniform", n=500, seed=21)
+    # 480 keeps both packed trees (node_size 8) at the same height, so
+    # the equal-height task-creation paths of the simulator apply.
+    items_s = dataset("clustered", n=480, seed=22)
+    node_r, flat_r = build_both(items_r)
+    node_s, flat_s = build_both(items_s)
+    expected = brute_join(items_r, items_s)
+    return items_r, items_s, node_r, node_s, flat_r, flat_s, expected
+
+
+class TestSequentialParity:
+    def test_flat_join_kernel(self, workload):
+        items_r, items_s, _, _, flat_r, flat_s, _ = workload
+        result = flat_join(flat_r, flat_s)
+        assert_join_parity(items_r, items_s, result.pairs)
+        assert result.intersection_tests > 0
+        assert result.node_pairs_visited > 0
+
+    def test_dispatch_from_sequential_join(self, workload):
+        _, _, node_r, node_s, flat_r, flat_s, expected = workload
+        assert set(sequential_join(flat_r, flat_s).pairs) == expected
+        assert set(sequential_join(node_r, node_s).pairs) == expected
+
+    def test_mixed_backends(self, workload):
+        _, _, node_r, node_s, flat_r, flat_s, expected = workload
+        assert set(sequential_join(flat_r, node_s).pairs) == expected
+        assert set(sequential_join(node_r, flat_s).pairs) == expected
+
+    def test_self_join(self, workload):
+        items_r, _, _, _, flat_r, _, _ = workload
+        assert_join_parity(items_r, items_r, flat_join_pairs(flat_r, flat_r))
+
+    def test_unequal_heights(self):
+        big = dataset("uniform", n=900, seed=31)
+        small = dataset("uniform", n=12, seed=32)
+        _, flat_big = build_both(big)
+        _, flat_small = build_both(small)
+        assert flat_big.num_levels != flat_small.num_levels
+        assert_join_parity(big, small, flat_join_pairs(flat_big, flat_small))
+        assert_join_parity(small, big, flat_join_pairs(flat_small, flat_big))
+
+    def test_empty_inputs(self):
+        items = dataset("uniform", n=40, seed=33)
+        _, flat = build_both(items)
+        _, empty = build_both([])
+        assert flat_join_pairs(flat, empty) == []
+        assert flat_join_pairs(empty, flat) == []
+        assert flat_join_pairs(empty, empty) == []
+
+    def test_refinement_filters_candidates(self, workload):
+        items_r, items_s, _, _, flat_r, flat_s, _ = workload
+        # Exact geometry = the MBR corners, so refinement keeps everything;
+        # the point is that the refinement seam runs on the flat path.
+        def corners(items):
+            return {
+                oid: ((r.xl, r.yl), (r.xu, r.yl), (r.xu, r.yu), (r.xl, r.yu))
+                for oid, r in items
+            }
+
+        refinement = ExactRefinement(corners(items_r), corners(items_s))
+        refined = flat_join(flat_r, flat_s, refinement=refinement).pairs
+        unrefined = flat_join_pairs(flat_r, flat_s)
+        assert set(refined) <= set(unrefined)
+
+
+class TestMultiprocessingParity:
+    def test_flat_fork_path(self, workload):
+        items_r, items_s, _, _, flat_r, flat_s, _ = workload
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            pairs = flat_multiprocessing_join(flat_r, flat_s, 4)
+        assert_join_parity(items_r, items_s, pairs)
+
+    def test_dispatch_from_multiprocessing_join(self, workload):
+        _, _, _, _, flat_r, flat_s, expected = workload
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            assert set(multiprocessing_join(flat_r, flat_s, 4)) == expected
+
+    def test_serial_fallback(self, workload):
+        _, _, _, _, flat_r, flat_s, expected = workload
+        assert set(multiprocessing_join(flat_r, flat_s, 1)) == expected
+
+    def test_recovery_routes_through_node_path(self, workload, tmp_path):
+        _, _, _, _, flat_r, flat_s, expected = workload
+        pairs = multiprocessing_join(
+            flat_r,
+            flat_s,
+            1,
+            journal_path=str(tmp_path / "join.jnl"),
+        )
+        assert set(pairs) == expected
+
+
+STRATEGIES = [
+    pytest.param(variant, id=variant.short_name)
+    for variant in (LSR, GSRR, GD)
+]
+
+
+class TestSimulatedStrategies:
+    @pytest.mark.parametrize("variant", STRATEGIES)
+    def test_simulated_join_over_packed_index(self, workload, variant):
+        _, _, _, _, flat_r, flat_s, expected = workload
+        page_store = prepare_trees(flat_r, flat_s)
+        result = parallel_spatial_join(
+            flat_r,
+            flat_s,
+            ParallelJoinConfig(
+                processors=4, disks=4, total_buffer_pages=160, variant=variant
+            ),
+            page_store=page_store,
+        )
+        assert result.pair_set() == expected
+        assert result.disk_accesses > 0

@@ -1,0 +1,122 @@
+"""Differential parity: the flat packed backend vs the pointer R*-tree.
+
+Window queries and k-NN over seeded uniform, clustered and degenerate
+(duplicate / zero-area) datasets must return exactly the node-tree
+result sets — and for k-NN the identical ordered ``(distance, oid)``
+list — with the brute-force oracle of :mod:`tests.flat_oracle` as the
+ground truth for both.
+"""
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.query.batch import multi_window_query
+from repro.rtree import FlatRTree, build_flat_tree
+from repro.rtree.query import QueryStats, nearest_neighbors, window_query
+
+from tests.flat_oracle import (
+    DATASETS,
+    assert_knn_parity,
+    assert_window_parity,
+    brute_window,
+    build_both,
+    dataset,
+    query_windows,
+)
+
+KINDS = sorted(DATASETS)
+
+
+@pytest.fixture(scope="module", params=KINDS)
+def workload(request):
+    items = dataset(request.param, n=600, seed=11)
+    node_tree, flat_tree = build_both(items)
+    return items, node_tree, flat_tree
+
+
+class TestWindowParity:
+    def test_window_queries_match(self, workload):
+        items, node_tree, flat_tree = workload
+        assert_window_parity(items, node_tree, flat_tree, query_windows(3))
+
+    def test_multi_window_matches_single(self, workload):
+        items, node_tree, flat_tree = workload
+        windows = query_windows(5)
+        batched = multi_window_query(flat_tree, windows)
+        assert len(batched) == len(windows)
+        for window, entries in zip(windows, batched):
+            assert {e.oid for e in entries} == brute_window(items, window)
+
+    def test_stats_are_accounted(self, workload):
+        _, _, flat_tree = workload
+        stats = QueryStats()
+        window_query(flat_tree, Rect(-1e9, -1e9, 1e9, 1e9), stats=stats)
+        # Every level of the frontier was visited at least once.
+        assert stats.leaf_nodes >= 1
+        assert stats.total_nodes >= flat_tree.num_levels - 1
+
+
+class TestKNNParity:
+    def test_knn_matches_ordered(self, workload):
+        items, node_tree, flat_tree = workload
+        points = [(5.0, 5.0), (0.0, 0.0), (50.0, 50.0), (-10.0, 120.0)]
+        assert_knn_parity(
+            items, node_tree, flat_tree, points, ks=(1, 3, 10, 599)
+        )
+
+    def test_k_larger_than_dataset(self, workload):
+        items, node_tree, flat_tree = workload
+        got_node = nearest_neighbors(node_tree, 1.0, 2.0, k=len(items) + 50)
+        got_flat = nearest_neighbors(flat_tree, 1.0, 2.0, k=len(items) + 50)
+        assert len(got_node) == len(got_flat) == len(items)
+        assert [(d, e.oid) for d, e in got_node] == [
+            (d, e.oid) for d, e in got_flat
+        ]
+
+    def test_k_must_be_positive(self, workload):
+        _, node_tree, flat_tree = workload
+        with pytest.raises(ValueError):
+            nearest_neighbors(node_tree, 0.0, 0.0, k=0)
+        with pytest.raises(ValueError):
+            nearest_neighbors(flat_tree, 0.0, 0.0, k=0)
+
+
+class TestEdgeShapes:
+    def test_empty_tree(self):
+        tree = FlatRTree.build([])
+        tree.validate()
+        assert len(tree) == 0
+        assert window_query(tree, Rect(0, 0, 1, 1)) == []
+        assert nearest_neighbors(tree, 0.0, 0.0, k=5) == []
+        assert multi_window_query(tree, [Rect(0, 0, 1, 1)]) == [[]]
+        with pytest.raises(ValueError):
+            tree.mbr()
+
+    def test_single_item(self):
+        tree = FlatRTree.build([("only", Rect(1, 1, 2, 2))])
+        tree.validate()
+        assert tree.height == 1
+        assert [e.oid for e in window_query(tree, Rect(0, 0, 3, 3))] == ["only"]
+        assert window_query(tree, Rect(5, 5, 6, 6)) == []
+        (found,) = nearest_neighbors(tree, 0.0, 0.0, k=3)
+        assert found[1].oid == "only"
+
+    def test_build_rejects_tiny_node_size(self):
+        with pytest.raises(ValueError):
+            FlatRTree.build([(0, Rect(0, 0, 1, 1))], node_size=1)
+
+    def test_build_is_deterministic(self):
+        items = dataset("uniform", n=300, seed=7)
+        a = FlatRTree.build(items, node_size=8)
+        b = FlatRTree.build(items, node_size=8)
+        assert a.oids == b.oids
+        assert (a.xmin == b.xmin).all() and (a.ymax == b.ymax).all()
+        assert (a.level_offsets == b.level_offsets).all()
+
+    def test_build_flat_tree_from_map(self):
+        from repro.datagen import paper_maps
+
+        map1, _ = paper_maps(scale=0.002)
+        tree = build_flat_tree(map1)
+        tree.validate()
+        assert len(tree) == len(map1)
