@@ -13,10 +13,10 @@ DET002    no unseeded randomness in deterministic modules: every RNG is a
           :mod:`random`
 TRC001    every ``emit(...)`` names a declared ``EventKind`` member —
           undeclared or string event names silently bypass every checker
-TRC002    every emitted ``FLT_*``/``SUP_*``/``LSE_*``/``JNL_*`` ledger
-          event is reconciled by an accounting checker (resilience or
-          recovery) — an unreferenced ledger event is a fault class that
-          can be silently lost
+TRC002    every emitted ``FLT_*``/``SUP_*``/``LSE_*``/``JNL_*``/``SHD_*``
+          ledger event is reconciled by an accounting checker (resilience,
+          recovery or shard) — an unreferenced ledger event is a fault
+          class that can be silently lost
 PAIR001   every ``CircuitBreaker.allow()`` admission is settled in a
           ``try/finally`` via ``record_success``/``record_failure``/
           ``release`` — a leaked half-open probe slot wedges the breaker
@@ -323,7 +323,7 @@ class LedgerCounterpartRule(ProjectRule):
         refs = project.checker_event_refs
         if refs is None:
             return
-        prefixes = ("FLT_", "SUP_", "LSE_", "JNL_")
+        prefixes = ("FLT_", "SUP_", "LSE_", "JNL_", "SHD_")
         for path, line, member in project.emit_sites:
             if not member.startswith(prefixes):
                 continue

@@ -627,6 +627,11 @@ class Engine:
             "faults_injected": (
                 self.injector.counts() if self.injector is not None else None
             ),
+            # Per-shard metrics live under this key on the sharded tier
+            # (ShardRouter.snapshot()); the single-pool engine serves one
+            # implicit shard, reported as None so dashboards can key on
+            # the same field either way.
+            "shards": None,
         }
 
     def __repr__(self) -> str:

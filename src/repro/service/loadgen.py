@@ -28,6 +28,14 @@ replayed through the service + resilience invariant checkers.  The run
 given a terminal response — or any checker reports a violation; the
 healthy-vs-faulted comparison is written to ``BENCH_chaos.json``.
 
+``--shards K`` benchmarks the shared-nothing sharded tier
+(:mod:`repro.shard`) instead of the single engine: throughput scaling
+over the shard-count ladder up to K, hot-shard skew (``--skew
+hotspot|zipf``) with and without per-shard replication, and a
+crash-failover run that must complete every request through replica
+re-dispatch; the ``SHD_*``/``LSE_*`` routing and lease ledgers are
+checker-verified and the comparison lands in ``BENCH_shard.json``.
+
 ``--resume`` benchmarks the recoverable join instead of the serving
 engine: the same journalled join is run healthy, under seeded task kills
 (recovered throughput), and interrupted-then-resumed (journal replay
@@ -53,7 +61,13 @@ from ..trace import ListSink, run_checkers, service_checkers
 from .engine import Engine, EngineConfig
 from .model import JoinRequest, KNNRequest, WindowRequest
 
-__all__ = ["main", "run_load", "build_trees", "RequestFactory"]
+__all__ = [
+    "main",
+    "run_load",
+    "run_shard_load",
+    "build_trees",
+    "RequestFactory",
+]
 
 
 def build_trees(scale: float, seed: int, backend: str = "node"):
@@ -76,7 +90,20 @@ def build_trees(scale: float, seed: int, backend: str = "node"):
 
 
 class RequestFactory:
-    """Seeded generator of the workload's request mix."""
+    """Seeded generator of the workload's request mix.
+
+    ``skew`` shapes *where* the traffic lands, which only matters to the
+    sharded tier (a uniform workload spreads evenly over any spatial
+    partition; a skewed one concentrates on the shards owning the hot
+    region):
+
+    * ``uniform`` — query anchors drawn uniformly over the region;
+    * ``hotspot`` — anchors drawn from a Gaussian around a fixed point
+      (``hotspot_sigma`` of the region side), so one shard neighbourhood
+      absorbs most of the load;
+    * ``zipf`` — window queries drawn from the hot set with Zipf(``s``)
+      popularity (rank-1 window dominates), the classic popularity skew.
+    """
 
     def __init__(
         self,
@@ -89,39 +116,126 @@ class RequestFactory:
         hot_set_size: int = 32,
         min_side: float = 0.02,
         max_side: float = 0.10,
+        skew: str = "uniform",
+        hotspot_sigma: float = 0.06,
+        zipf_s: float = 1.1,
     ):
+        if skew not in ("uniform", "hotspot", "zipf"):
+            raise ValueError(
+                f"unknown skew {skew!r} (expected uniform|hotspot|zipf)"
+            )
         self.side = region.side
         self.knn_share = knn_share
         self.join_share = join_share
         self.hot_fraction = hot_fraction
         self.min_side = min_side
         self.max_side = max_side
+        self.skew = skew
+        self.hotspot_center = (0.31 * self.side, 0.63 * self.side)
+        self.hotspot_sigma = hotspot_sigma * self.side
+        weights = [1.0 / (rank + 1) ** zipf_s for rank in range(hot_set_size)]
+        total = sum(weights)
+        cum, acc = [], 0.0
+        for w in weights:
+            acc += w / total
+            cum.append(acc)
+        self._zipf_cum = cum
         hot_rng = random.Random(seed)
         self.hot_windows = [
             self._window(hot_rng) for _ in range(hot_set_size)
         ]
 
+    def _point(self, rng: random.Random) -> tuple[float, float]:
+        if self.skew == "hotspot":
+            cx, cy = self.hotspot_center
+            return (
+                min(max(rng.gauss(cx, self.hotspot_sigma), 0.0), self.side),
+                min(max(rng.gauss(cy, self.hotspot_sigma), 0.0), self.side),
+            )
+        return rng.uniform(0.0, self.side), rng.uniform(0.0, self.side)
+
     def _window(self, rng: random.Random) -> Rect:
         extent = rng.uniform(self.min_side, self.max_side) * self.side
-        x = rng.uniform(0.0, self.side - extent)
-        y = rng.uniform(0.0, self.side - extent)
+        x, y = self._point(rng)
+        x = min(x, self.side - extent)
+        y = min(y, self.side - extent)
         return Rect(x, y, x + extent, y + extent)
+
+    def _hot_window(self, rng: random.Random) -> Rect:
+        if self.skew == "zipf":
+            roll = rng.random()
+            for rank, edge in enumerate(self._zipf_cum):
+                if roll <= edge:
+                    return self.hot_windows[rank]
+        return rng.choice(self.hot_windows)
 
     def make(self, rng: random.Random):
         roll = rng.random()
         if roll < self.join_share:
             return JoinRequest("map1", "map2", window=self._window(rng))
         if roll < self.join_share + self.knn_share:
+            x, y = self._point(rng)
             return KNNRequest(
-                rng.choice(("map1", "map2")),
-                rng.uniform(0.0, self.side),
-                rng.uniform(0.0, self.side),
-                rng.randint(1, 20),
+                rng.choice(("map1", "map2")), x, y, rng.randint(1, 20)
             )
         tree = rng.choice(("map1", "map2"))
-        if rng.random() < self.hot_fraction:
-            return WindowRequest(tree, rng.choice(self.hot_windows))
+        hot_p = (
+            max(self.hot_fraction, 0.8)
+            if self.skew == "zipf"
+            else self.hot_fraction
+        )
+        if rng.random() < hot_p:
+            return WindowRequest(tree, self._hot_window(rng))
         return WindowRequest(tree, self._window(rng))
+
+
+async def _drive(
+    submit,
+    factory: RequestFactory,
+    *,
+    duration_s: float,
+    mode: str,
+    clients: int,
+    rate: float,
+    seed: int,
+    timeout_s: Optional[float],
+) -> tuple[int, Counter, float]:
+    """Drive *submit* (Engine or ShardRouter, same protocol) with the
+    configured arrival model; returns (submitted, statuses, elapsed)."""
+    statuses: Counter = Counter()
+    submitted = 0
+    wall_start = time.perf_counter()
+    deadline = wall_start + duration_s
+
+    async def issue(rng: random.Random) -> None:
+        nonlocal submitted
+        submitted += 1
+        response = await submit(
+            factory.make(rng),
+            **({} if timeout_s is None else {"timeout": timeout_s}),
+        )
+        statuses[response.status.value] += 1
+
+    if mode == "closed":
+
+        async def client(index: int) -> None:
+            rng = random.Random(seed * 7919 + index)
+            while time.perf_counter() < deadline:
+                await issue(rng)
+
+        await asyncio.gather(*(client(i) for i in range(clients)))
+    elif mode == "open":
+        rng = random.Random(seed)
+        tasks = []
+        while time.perf_counter() < deadline:
+            await asyncio.sleep(rng.expovariate(rate))
+            tasks.append(asyncio.create_task(issue(random.Random(rng.random()))))
+        if tasks:
+            await asyncio.gather(*tasks)
+    else:
+        raise ValueError(f"unknown mode {mode!r} (closed|open)")
+
+    return submitted, statuses, time.perf_counter() - wall_start
 
 
 async def run_load(
@@ -152,41 +266,12 @@ async def run_load(
         config or EngineConfig(),
         sinks=() if sink is None else (sink,),
     )
-    statuses: Counter = Counter()
-    submitted = 0
     await engine.start()
-    wall_start = time.perf_counter()
-    deadline = wall_start + duration_s
-
-    async def issue(rng: random.Random) -> None:
-        nonlocal submitted
-        submitted += 1
-        response = await engine.submit(
-            factory.make(rng),
-            **({} if timeout_s is None else {"timeout": timeout_s}),
-        )
-        statuses[response.status.value] += 1
-
-    if mode == "closed":
-
-        async def client(index: int) -> None:
-            rng = random.Random(seed * 7919 + index)
-            while time.perf_counter() < deadline:
-                await issue(rng)
-
-        await asyncio.gather(*(client(i) for i in range(clients)))
-    elif mode == "open":
-        rng = random.Random(seed)
-        tasks = []
-        while time.perf_counter() < deadline:
-            await asyncio.sleep(rng.expovariate(rate))
-            tasks.append(asyncio.create_task(issue(random.Random(rng.random()))))
-        if tasks:
-            await asyncio.gather(*tasks)
-    else:
-        raise ValueError(f"unknown mode {mode!r} (closed|open)")
-
-    elapsed = time.perf_counter() - wall_start
+    submitted, statuses, elapsed = await _drive(
+        engine.submit, factory,
+        duration_s=duration_s, mode=mode, clients=clients, rate=rate,
+        seed=seed, timeout_s=timeout_s,
+    )
     await engine.stop()
     report = engine.metrics.report(elapsed)
     snapshot = engine.snapshot()
@@ -221,6 +306,82 @@ async def run_load(
             "supervisor": snapshot["supervisor"],
             "pool": snapshot["pool"],
             "faults_injected": snapshot["faults_injected"],
+        },
+        "verdicts": verdicts,
+    }
+
+
+async def run_shard_load(
+    datasets,
+    region,
+    *,
+    duration_s: float,
+    mode: str,
+    clients: int,
+    rate: float,
+    seed: int,
+    factory: Optional[RequestFactory] = None,
+    config=None,
+    timeout_s: Optional[float] = None,
+    check_invariants: bool = False,
+) -> dict:
+    """One load-test run against the sharded tier (``repro.shard``).
+
+    Same shape as :func:`run_load` — the :class:`~repro.shard.router.
+    ShardRouter` speaks the Engine protocol — plus the router's
+    per-shard serving counters under ``"shards"`` (routed sub-requests,
+    rows, failovers, kNN prunes per shard: the hot-shard evidence).
+    """
+    from ..shard import ShardConfig, ShardRouter
+
+    factory = factory or RequestFactory(region, seed)
+    sink = ListSink() if check_invariants else None
+    router = ShardRouter(
+        datasets,
+        config or ShardConfig(),
+        sinks=() if sink is None else (sink,),
+    )
+    await router.start()
+    submitted, statuses, elapsed = await _drive(
+        router.submit, factory,
+        duration_s=duration_s, mode=mode, clients=clients, rate=rate,
+        seed=seed, timeout_s=timeout_s,
+    )
+    await router.stop()
+    report = router.metrics.report(elapsed)
+    snapshot = router.snapshot()
+    verdicts = None
+    if sink is not None:
+        verdicts = [
+            {
+                "checker": v.checker,
+                "ok": v.ok,
+                "violation_count": v.violation_count,
+                "violations": v.violations,
+                "stats": v.stats,
+            }
+            for v in run_checkers(sink.events, service_checkers())
+        ]
+    return {
+        "mode": mode,
+        "duration_s": duration_s,
+        "elapsed_s": elapsed,
+        "clients": clients if mode == "closed" else None,
+        "offered_rate_rps": rate if mode == "open" else None,
+        "submitted": submitted,
+        "statuses": dict(statuses),
+        "lost": submitted - sum(statuses.values()),
+        "report": report,
+        "cache": router.cache.stats(),
+        "queue_depth_max": report["queue_depth_max"],
+        "partition": snapshot["partition"],
+        "shards": snapshot["shards"],
+        "resilience": {
+            "supervisor": snapshot["supervisor"],
+            "pool": snapshot["pool"],
+            "faults_injected": snapshot["faults_injected"],
+            "leases": snapshot["leases"],
+            "ledger": snapshot["ledger"],
         },
         "verdicts": verdicts,
     }
@@ -290,6 +451,12 @@ def main(argv=None) -> int:
     parser.add_argument("--knn-share", type=float, default=0.1)
     parser.add_argument("--join-share", type=float, default=0.0)
     parser.add_argument("--hot-fraction", type=float, default=0.25)
+    parser.add_argument(
+        "--skew",
+        choices=("uniform", "hotspot", "zipf"),
+        default="uniform",
+        help="spatial/popularity skew of the request anchors",
+    )
     parser.add_argument("--timeout", type=float, default=5.0)
     parser.add_argument("--max-inflight", type=int, default=128)
     parser.add_argument("--batch-window-ms", type=float, default=2.0)
@@ -326,6 +493,22 @@ def main(argv=None) -> int:
                        help="fault plan seed (decisions are reproducible)")
     chaos.add_argument("--attempt-timeout", type=float, default=0.5,
                        help="per-attempt execution deadline under chaos (s)")
+    shard = parser.add_argument_group("sharded tier (--shards)")
+    shard.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="K",
+        help="benchmark the sharded tier at K shards instead of the "
+        "engine: throughput scaling over the K ladder, hot-shard skew "
+        "with and without replication, and a crash-failover run — "
+        "writes BENCH_shard.json (exit 1 on lost requests or checker "
+        "violations)",
+    )
+    shard.add_argument("--shard-mode", choices=("grid", "zrange"),
+                       default="grid", help="spatial partitioning mode")
+    shard.add_argument("--replicas", type=int, default=2,
+                       help="replica pools per shard in the replicated arms")
     recovery = parser.add_argument_group("recovery (--resume)")
     recovery.add_argument(
         "--resume",
@@ -343,6 +526,8 @@ def main(argv=None) -> int:
 
     if args.resume:
         return _recovery_main(args)
+    if args.shards:
+        return _shard_main(args)
 
     def engine_config(
         batching: bool,
@@ -374,6 +559,7 @@ def main(argv=None) -> int:
         knn_share=args.knn_share,
         join_share=args.join_share,
         hot_fraction=args.hot_fraction,
+        skew=args.skew,
     )
 
     def run(
@@ -570,6 +756,204 @@ def _chaos_main(args, run) -> int:
             print(f"CHAOS FAILURE: {failure}")
         return 1
     print("chaos invariants hold: no lost requests, all checkers green")
+    return 0
+
+
+def _shard_main(args) -> int:
+    """The ``--shards K`` arm: benchmark the sharded serving tier.
+
+    Three sections, one BENCH_shard.json:
+
+    * **scaling** — the same uniform workload over the shard-count
+      ladder up to K (throughput vs K, cache off so the fan-out is
+      what's measured);
+    * **skew** — a hotspot workload at K shards, unreplicated vs
+      R replicas per shard: the per-shard routed counters show the hot
+      shard, the replicated arm splits its load across replica pools;
+    * **failover** — the workload under seeded worker crashes with
+      replicas: every request must still complete (zero lost) through
+      lease-expiry + replica re-dispatch, with every checker green.
+    """
+    from ..shard import ShardConfig
+
+    print(
+        f"building workload (scale={args.scale}, seed={args.seed}) ...",
+        flush=True,
+    )
+    map1, map2 = paper_maps(scale=args.scale, seed=args.seed)
+    datasets = {"map1": map1.items(), "map2": map2.items()}
+    region = map1.region
+
+    def shard_config(k, replicas, faults=None):
+        return ShardConfig(
+            shards=k,
+            mode=args.shard_mode,
+            replicas=replicas,
+            backend=args.backend,
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            default_timeout_s=args.timeout,
+            attempt_timeout_s=args.attempt_timeout if faults else 2.0,
+            cache_capacity=0,  # measure routing + fan-out, not the cache
+            faults=faults,
+        )
+
+    def run_arm(k, replicas, duration, skew, faults=None):
+        factory = RequestFactory(
+            region,
+            args.seed,
+            knn_share=args.knn_share,
+            join_share=args.join_share,
+            hot_fraction=args.hot_fraction,
+            skew=skew,
+        )
+        return asyncio.run(
+            run_shard_load(
+                datasets,
+                region,
+                duration_s=duration,
+                mode=args.mode,
+                clients=args.clients,
+                rate=args.rate,
+                seed=args.seed,
+                factory=factory,
+                config=shard_config(k, replicas, faults),
+                check_invariants=True,
+            )
+        )
+
+    failures: list[str] = []
+
+    def audit(name: str, summary: dict) -> None:
+        if summary["lost"]:
+            failures.append(
+                f"{name}: lost {summary['lost']} request(s) "
+                f"(submitted but no terminal response)"
+            )
+        for verdict in summary["verdicts"]:
+            if not verdict["ok"]:
+                failures.append(
+                    f"{name}: checker {verdict['checker']} reported "
+                    f"{verdict['violation_count']} violation(s): "
+                    f"{verdict['violations'][:3]}"
+                )
+
+    wall_start = time.perf_counter()
+    section_s = max(1.0, args.duration / 3)
+
+    ladder = sorted({1, 2, args.shards} | {args.shards // 2})
+    ladder = [k for k in ladder if 1 <= k <= args.shards]
+    scaling = []
+    for k in ladder:
+        print(heading(
+            f"shard scaling — K={k} ({args.shard_mode}, "
+            f"{args.backend} backend, {section_s:g}s)"
+        ))
+        summary = run_arm(k, 1, section_s, "uniform")
+        _print_summary(summary)
+        audit(f"scaling K={k}", summary)
+        scaling.append({
+            "shards": k,
+            "throughput_rps": summary["report"]["throughput_rps"],
+            "p99_s": summary["report"]["latency"]["p99_s"],
+            "lost": summary["lost"],
+            "per_shard": summary["shards"],
+        })
+
+    skew_mode = args.skew if args.skew != "uniform" else "hotspot"
+    replicas = max(2, args.replicas)
+    skew_arms = {}
+    for label, r in (("unreplicated", 1), ("replicated", replicas)):
+        print(heading(
+            f"hot-shard skew — {skew_mode}, K={args.shards}, "
+            f"replicas={r} ({section_s:g}s)"
+        ))
+        summary = run_arm(args.shards, r, section_s, skew_mode)
+        _print_summary(summary)
+        audit(f"skew {label}", summary)
+        routed = {
+            s: stats["subrequests"]
+            for s, stats in summary["shards"].items()
+        }
+        hottest = max(routed, key=routed.get) if routed else None
+        total_routed = sum(routed.values())
+        print(
+            f"per-shard sub-requests: {routed}   hottest: shard {hottest} "
+            f"({100 * routed[hottest] / total_routed:.0f}% of "
+            f"{total_routed})" if total_routed else "no sub-requests routed"
+        )
+        skew_arms[label] = {
+            "replicas": r,
+            "skew": skew_mode,
+            "throughput_rps": summary["report"]["throughput_rps"],
+            "p99_s": summary["report"]["latency"]["p99_s"],
+            "per_shard_subrequests": routed,
+            "hottest_shard": hottest,
+            "hottest_share": (
+                routed[hottest] / total_routed if total_routed else None
+            ),
+            "lost": summary["lost"],
+        }
+
+    plan = FaultPlan(seed=args.chaos_seed, worker_crash_p=args.crash_p)
+    print(heading(
+        f"failover — crash_p={plan.worker_crash_p}, K={args.shards}, "
+        f"replicas={replicas}, seed={plan.seed} ({section_s:g}s)"
+    ))
+    faulted = run_arm(args.shards, replicas, section_s, "uniform", plan)
+    _print_summary(faulted)
+    audit("failover", faulted)
+    failovers = sum(s["failovers"] for s in faulted["shards"].values())
+    resilience = faulted["resilience"]
+    print(
+        f"failovers: {failovers}   faults: {resilience['faults_injected']}"
+        f"   leases: {resilience['leases']}"
+    )
+
+    payload = {
+        "bench": "shard",
+        "config": {
+            "mode": args.mode,
+            "duration_s": args.duration,
+            "clients": args.clients,
+            "rate": args.rate,
+            "seed": args.seed,
+            "workers": args.workers,
+            "backend": args.backend,
+            "shards": args.shards,
+            "shard_mode": args.shard_mode,
+            "replicas": replicas,
+            "skew": skew_mode,
+            "crash_p": plan.worker_crash_p,
+            "chaos_seed": plan.seed,
+            "knn_share": args.knn_share,
+            "join_share": args.join_share,
+        },
+        "scale": args.scale,
+        "wall_time_s": time.perf_counter() - wall_start,
+        "scaling": scaling,
+        "skew": skew_arms,
+        "failover": {
+            "crash_p": plan.worker_crash_p,
+            "throughput_rps": faulted["report"]["throughput_rps"],
+            "lost": faulted["lost"],
+            "failovers": failovers,
+            "resilience": resilience,
+            "statuses": faulted["statuses"],
+        },
+        "failures": failures,
+        "ok": not failures,
+    }
+    path = report_json("shard", payload)
+    print(f"\nwrote {path}")
+    if failures:
+        for failure in failures:
+            print(f"SHARD FAILURE: {failure}")
+        return 1
+    print(
+        "shard invariants hold: no lost requests, routing/lease/service "
+        "checkers green across every arm"
+    )
     return 0
 
 

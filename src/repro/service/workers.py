@@ -142,11 +142,32 @@ def _window_filtered(tree_r, tree_s, pairs, window: Optional[tuple]) -> tuple:
     return tuple(sorted(pairs))
 
 
+def _shard_join_on(
+    trees,
+    name_r: str,
+    name_s: str,
+    window: Optional[tuple],
+    pmap,
+    shard: int,
+) -> tuple:
+    """One shard's join contribution (sharded tier): the local filter
+    pairs whose reference point *shard* owns under *pmap*.  The
+    :class:`~repro.shard.partition.PartitionMap` is a small frozen value
+    object of primitives, so it pickles into the fork cheaply — unlike
+    trees, which never travel."""
+    from ..shard.ops import shard_join_pairs  # lazy: shard imports service
+
+    return shard_join_pairs(
+        trees[name_r], trees[name_s], pmap, shard, window
+    )
+
+
 _EXEC_FNS = {
     "windows": _windows_on,
     "knn": _knn_on,
     "join": _join_on,
     "join_chunk": _join_chunk_on,
+    "shard_join": _shard_join_on,
 }
 
 
@@ -208,21 +229,33 @@ class WorkerPool:
         injector: Optional[FaultInjector] = None,
         tracer: Tracer = NULL_TRACER,
         default_timeout_s: Optional[float] = 30.0,
+        label: str = "",
+        call_id_base: int = 0,
     ):
         if processes < 0:
             raise ValueError("processes must be >= 0")
         if default_timeout_s is not None and default_timeout_s <= 0:
             raise ValueError("default_timeout_s must be positive (or None)")
+        if call_id_base < 0:
+            raise ValueError("call_id_base must be >= 0")
         self.trees = dict(trees)
         self.requested_processes = processes
         self.injector = injector
         self.tracer = tracer
         self.default_timeout_s = default_timeout_s
+        #: Names this pool in the ``SUP_*`` ledger.  A single-pool engine
+        #: leaves it empty; the sharded tier labels each replica pool so
+        #: per-pool restart counters stay distinguishable in one stream.
+        self.label = label
+        #: Start of this pool's call-id range.  Call ids key the
+        #: fault/recovery ledgers (``FLT_INJECT_* .call`` vs
+        #: ``SUP_CALL_*``), so pools sharing one tracer must carve out
+        #: disjoint ranges or their ledger entries collide.
+        self._call_seq = call_id_base
         self._pool = None
         self._pool_key: Optional[int] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self.forked = False
-        self._call_seq = 0
         self._inflight: dict[int, _InflightCall] = {}
         self.restarts = 0
         self.calls_failed = 0
@@ -285,7 +318,9 @@ class WorkerPool:
         self.restarts += 1
         if self.tracer.enabled:
             self.tracer.emit(
-                EventKind.SUP_POOL_RESTARTED, restarts=self.restarts
+                EventKind.SUP_POOL_RESTARTED,
+                restarts=self.restarts,
+                pool=self.label,
             )
         failed = 0
         for entry in list(self._inflight.values()):

@@ -1,0 +1,412 @@
+"""Spatial partitioning for the shared-nothing serving tier.
+
+The paper closes by naming the shared-nothing architecture — where "the
+assignment of the data to the different disks is of special interest" —
+as the step beyond its shared-virtual-memory model.  This module does
+that assignment for the serving tier: it splits a dataset's space into
+cells, assigns every cell to exactly one of *K* shards, and builds one
+R-tree per shard (node or flat backend) over the objects that shard can
+see.
+
+Two assignments coexist on purpose, and the distinction carries every
+correctness argument downstream:
+
+* **ownership** — every *point* of the data MBR belongs to exactly one
+  shard (:meth:`PartitionMap.owner_of_point`), and every *object* is
+  owned by exactly one shard (the owner of its MBR center).  Ownership
+  is what makes join duplicate elimination exact: a cross-shard pair is
+  reported only by the shard owning the pair's reference point.
+* **replication** — a shard's tree stores every object whose MBR
+  *overlaps* the shard's region (PBSM-style boundary replication).  A
+  window or kNN query routed to the shards its geometry overlaps then
+  never misses a qualifying object, because any object intersecting the
+  query inside shard *s*'s region is stored in *s*.
+
+Partitioning modes:
+
+* ``grid`` — a uniform ``gx × gy`` grid with one cell per shard (the
+  factorization closest to square), the classic static decomposition;
+* ``zrange`` — a finer power-of-two grid whose cells are ordered by
+  their Z-order (Morton) code and cut into *K* contiguous code runs of
+  approximately equal **object count** (the balance heuristic): skewed
+  data gets small hot cells and large sparse runs, the
+  space-filling-curve range sharding of "Parallel In-Memory Evaluation
+  of Spatial Joins" (PAPERS.md).
+
+A :class:`PartitionMap` is a frozen value object of primitives, so it
+pickles cheaply into forked worker pools and its routing decisions are
+reproducible anywhere — the worker-side join kernel re-runs the same
+ownership test the router used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..geometry.rect import Rect
+from ..rtree.bulk import str_bulk_load
+from ..rtree.rstar import RStarTree
+from ..zorder.curve import interleave
+
+__all__ = [
+    "PartitionMap",
+    "Partitioner",
+    "ShardedDataset",
+    "build_sharded",
+    "partition_items",
+]
+
+#: Default cell-grid side for ``zrange`` mode (power of two: Morton
+#: codes interleave whole bits).  256 cells balance 8 shards finely.
+DEFAULT_ZRANGE_CELLS = 16
+
+
+def _near_square_factors(k: int) -> Tuple[int, int]:
+    """``(gx, gy)`` with ``gx * gy == k`` and the ratio closest to 1."""
+    best = (1, k)
+    for gx in range(1, int(k**0.5) + 1):
+        if k % gx == 0:
+            best = (gx, k // gx)
+    return best
+
+
+@dataclass(frozen=True)
+class PartitionMap:
+    """The space → shard assignment: a cell grid plus a cell-owner table.
+
+    ``owner[iy * gx + ix]`` is the shard owning cell ``(ix, iy)``.  Cell
+    membership is half-open (``[x0 + ix*w, x0 + (ix+1)*w)``) with the
+    last row/column closed, so the cells tile the data MBR exactly and
+    every point has one owner; points outside the data MBR clamp to the
+    nearest boundary cell, so routing never fails on out-of-range
+    queries.
+    """
+
+    mode: str
+    shards: int
+    x0: float
+    y0: float
+    cell_w: float
+    cell_h: float
+    gx: int
+    gy: int
+    owner: Tuple[int, ...]
+
+    # -- point / rect location -------------------------------------------------
+    def cell_of_point(self, x: float, y: float) -> int:
+        ix = int((x - self.x0) / self.cell_w)
+        iy = int((y - self.y0) / self.cell_h)
+        if ix < 0:
+            ix = 0
+        elif ix >= self.gx:
+            ix = self.gx - 1
+        if iy < 0:
+            iy = 0
+        elif iy >= self.gy:
+            iy = self.gy - 1
+        return iy * self.gx + ix
+
+    def owner_of_point(self, x: float, y: float) -> int:
+        return self.owner[self.cell_of_point(x, y)]
+
+    def cells_of_rect(self, rect: Rect) -> Iterable[int]:
+        """Indices of every cell the (clamped) rectangle overlaps."""
+        lo = self.cell_of_point(rect.xl, rect.yl)
+        hi = self.cell_of_point(rect.xu, rect.yu)
+        ix0, iy0 = lo % self.gx, lo // self.gx
+        ix1, iy1 = hi % self.gx, hi // self.gx
+        for iy in range(iy0, iy1 + 1):
+            base = iy * self.gx
+            for ix in range(ix0, ix1 + 1):
+                yield base + ix
+
+    def shards_of_rect(self, rect: Rect) -> frozenset:
+        """Every shard whose region the rectangle overlaps."""
+        return frozenset(self.owner[c] for c in self.cells_of_rect(rect))
+
+    # -- geometry of the decomposition ----------------------------------------
+    def cell_rect(self, cell: int) -> Rect:
+        ix, iy = cell % self.gx, cell // self.gx
+        return Rect(
+            self.x0 + ix * self.cell_w,
+            self.y0 + iy * self.cell_h,
+            self.x0 + (ix + 1) * self.cell_w,
+            self.y0 + (iy + 1) * self.cell_h,
+        )
+
+    def shard_cells(self, shard: int) -> list[int]:
+        return [c for c, s in enumerate(self.owner) if s == shard]
+
+    def shard_region(self, shard: int) -> Rect:
+        """The MBR of the shard's cells (exact for ``grid``, a bounding
+        box over the Morton run for ``zrange``)."""
+        return Rect.union_all(
+            self.cell_rect(c) for c in self.shard_cells(shard)
+        )
+
+    def bounds(self) -> Rect:
+        return Rect(
+            self.x0,
+            self.y0,
+            self.x0 + self.gx * self.cell_w,
+            self.y0 + self.gy * self.cell_h,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<PartitionMap {self.mode} shards={self.shards} "
+            f"grid={self.gx}x{self.gy}>"
+        )
+
+
+class Partitioner:
+    """Fits a :class:`PartitionMap` to a dataset.
+
+    ``mode='grid'`` ignores the objects beyond their bounding box;
+    ``mode='zrange'`` also counts objects per cell (by owned center) and
+    balances the per-shard counts when cutting the Morton order.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        mode: str = "grid",
+        *,
+        cells_per_side: Optional[int] = None,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if mode not in ("grid", "zrange"):
+            raise ValueError(f"unknown partition mode {mode!r}")
+        self.shards = shards
+        self.mode = mode
+        if cells_per_side is None:
+            cells_per_side = DEFAULT_ZRANGE_CELLS
+            while cells_per_side * cells_per_side < 4 * shards:
+                cells_per_side *= 2
+        if mode == "zrange":
+            if cells_per_side & (cells_per_side - 1):
+                raise ValueError("cells_per_side must be a power of two")
+            if cells_per_side * cells_per_side < shards:
+                raise ValueError("fewer cells than shards")
+        self.cells_per_side = cells_per_side
+
+    def fit(self, items: Sequence[tuple[Hashable, Rect]]) -> PartitionMap:
+        if not items:
+            raise ValueError("cannot partition an empty dataset")
+        bbox = Rect.union_all(rect for _, rect in items)
+        # Degenerate extents (all objects on one line) still need cells
+        # of positive size for the index arithmetic to divide by.
+        width = max(bbox.xu - bbox.xl, 1e-9)
+        height = max(bbox.yu - bbox.yl, 1e-9)
+        if self.mode == "grid":
+            gx, gy = _near_square_factors(self.shards)
+            if (width < height) != (gx < gy):
+                gx, gy = gy, gx
+            return PartitionMap(
+                mode="grid",
+                shards=self.shards,
+                x0=bbox.xl,
+                y0=bbox.yl,
+                cell_w=width / gx,
+                cell_h=height / gy,
+                gx=gx,
+                gy=gy,
+                owner=tuple(range(self.shards)),
+            )
+        return self._fit_zrange(items, bbox, width, height)
+
+    def _fit_zrange(
+        self, items, bbox: Rect, width: float, height: float
+    ) -> PartitionMap:
+        side = self.cells_per_side
+        bits = side.bit_length() - 1
+        probe = PartitionMap(
+            mode="zrange",
+            shards=1,
+            x0=bbox.xl,
+            y0=bbox.yl,
+            cell_w=width / side,
+            cell_h=height / side,
+            gx=side,
+            gy=side,
+            owner=(0,) * (side * side),
+        )
+        counts = [0] * (side * side)
+        for _, rect in items:
+            cx = (rect.xl + rect.xu) / 2.0
+            cy = (rect.yl + rect.yu) / 2.0
+            counts[probe.cell_of_point(cx, cy)] += 1
+        order = sorted(
+            range(side * side),
+            key=lambda c: interleave(c % side, c // side, bits),
+        )
+        owner = [0] * (side * side)
+        # Greedy equal-count cut of the Morton order: close shard s once
+        # its run holds its proportional share of the objects — but never
+        # leave fewer cells than remaining shards, so every shard owns at
+        # least one cell and the cells still tile the space.
+        total = len(items)
+        shard, acc = 0, 0
+        for position, cell in enumerate(order):
+            remaining_cells = len(order) - position
+            remaining_shards = self.shards - shard
+            if (
+                shard < self.shards - 1
+                and position > 0
+                and (
+                    acc * self.shards >= total * (shard + 1)
+                    or remaining_cells <= remaining_shards
+                )
+            ):
+                shard += 1
+            owner[cell] = shard
+            acc += counts[cell]
+        return PartitionMap(
+            mode="zrange",
+            shards=self.shards,
+            x0=bbox.xl,
+            y0=bbox.yl,
+            cell_w=width / side,
+            cell_h=height / side,
+            gx=side,
+            gy=side,
+            owner=tuple(owner),
+        )
+
+
+def partition_items(
+    items: Sequence[tuple[Hashable, Rect]], pmap: PartitionMap
+) -> tuple[list, list]:
+    """``(owned, replicated)`` per-shard item lists.
+
+    ``owned[s]`` holds the objects shard *s* owns (MBR center); the
+    lists partition the dataset.  ``replicated[s]`` holds every object
+    overlapping shard *s*'s region — the list the shard's tree is built
+    from; boundary objects appear in several.
+    """
+    owned: list = [[] for _ in range(pmap.shards)]
+    replicated: list = [[] for _ in range(pmap.shards)]
+    for oid, rect in items:
+        cx = (rect.xl + rect.xu) / 2.0
+        cy = (rect.yl + rect.yu) / 2.0
+        owned[pmap.owner_of_point(cx, cy)].append((oid, rect))
+        for shard in pmap.shards_of_rect(rect):
+            replicated[shard].append((oid, rect))
+    return owned, replicated
+
+
+def _build_tree(items: Sequence[tuple[Hashable, Rect]], backend: str):
+    """One shard-local tree; empty shards get an empty node tree (both
+    query kernels duck-type it and answer nothing)."""
+    if not items:
+        return RStarTree()
+    if backend == "flat":
+        from ..rtree.flat import FlatRTree
+
+        return FlatRTree.build(items)
+    if backend != "node":
+        raise ValueError(f"unknown backend {backend!r}")
+    return str_bulk_load(items)
+
+
+@dataclass(frozen=True)
+class ShardedDataset:
+    """K shard-local tree registries plus the routing geometry.
+
+    ``trees[s]`` maps every tree name to shard *s*'s local tree (built
+    over the replicated items).  ``content_mbrs[s][name]`` is the bbox of
+    what the shard actually stores — ``None`` when it stores nothing —
+    and is the bound the router intersects queries against: tighter than
+    the shard's cell region, and safe because any object intersecting a
+    query inside the region is stored here.
+    """
+
+    pmap: PartitionMap
+    backend: str
+    trees: Tuple[Mapping[str, object], ...]
+    content_mbrs: Tuple[Mapping[str, Optional[Rect]], ...]
+    counts: Tuple[Mapping[str, int], ...]
+
+    @property
+    def shards(self) -> int:
+        return self.pmap.shards
+
+    def tree_names(self) -> list[str]:
+        return sorted(self.trees[0]) if self.trees else []
+
+    def routed_shards(self, name: str, rect: Rect) -> list[int]:
+        """Shards whose stored content for *name* can intersect *rect*."""
+        out = []
+        for shard in range(self.shards):
+            mbr = self.content_mbrs[shard].get(name)
+            if mbr is not None and mbr.intersects(rect):
+                out.append(shard)
+        return out
+
+    def join_shards(
+        self, name_r: str, name_s: str, window: Optional[Rect] = None
+    ) -> list[int]:
+        """Shards that can hold an intersecting (r, s) pair — both
+        content boxes overlap each other (and the window, if any)."""
+        out = []
+        for shard in range(self.shards):
+            mbr_r = self.content_mbrs[shard].get(name_r)
+            mbr_s = self.content_mbrs[shard].get(name_s)
+            if mbr_r is None or mbr_s is None:
+                continue
+            if not mbr_r.intersects(mbr_s):
+                continue
+            if window is not None and not (
+                mbr_r.intersects(window) and mbr_s.intersects(window)
+            ):
+                continue
+            out.append(shard)
+        return out
+
+
+def build_sharded(
+    datasets: Mapping[str, Sequence[tuple[Hashable, Rect]]],
+    shards: int,
+    *,
+    mode: str = "grid",
+    backend: str = "node",
+    cells_per_side: Optional[int] = None,
+) -> ShardedDataset:
+    """Partition every named dataset with ONE shared map and build the
+    per-shard trees.
+
+    A single :class:`PartitionMap` (fitted on the union of all datasets)
+    covers every tree, so a join between two trees agrees with itself
+    about which shard owns any reference point.
+    """
+    if not datasets:
+        raise ValueError("need at least one dataset")
+    everything = [item for items in datasets.values() for item in items]
+    pmap = Partitioner(shards, mode, cells_per_side=cells_per_side).fit(
+        everything
+    )
+    trees = []
+    content_mbrs = []
+    counts = []
+    for shard in range(shards):
+        trees.append({})
+        content_mbrs.append({})
+        counts.append({})
+    for name, items in datasets.items():
+        _, replicated = partition_items(items, pmap)
+        for shard in range(shards):
+            local = replicated[shard]
+            trees[shard][name] = _build_tree(local, backend)
+            content_mbrs[shard][name] = (
+                Rect.union_all(rect for _, rect in local) if local else None
+            )
+            counts[shard][name] = len(local)
+    return ShardedDataset(
+        pmap=pmap,
+        backend=backend,
+        trees=tuple(trees),
+        content_mbrs=tuple(content_mbrs),
+        counts=tuple(counts),
+    )

@@ -23,6 +23,7 @@ from .checkers import (
     RecoveryAccountingChecker,
     ResilienceAccountingChecker,
     ServiceAccountingChecker,
+    ShardAccountingChecker,
     StealSoundnessChecker,
     TaskConservationChecker,
     Verdict,
@@ -60,6 +61,7 @@ __all__ = [
     "ServiceAccountingChecker",
     "ResilienceAccountingChecker",
     "RecoveryAccountingChecker",
+    "ShardAccountingChecker",
     "default_checkers",
     "recovery_checkers",
     "service_checkers",

@@ -43,6 +43,7 @@ __all__ = [
     "ClockMonotonicityChecker",
     "ServiceAccountingChecker",
     "ResilienceAccountingChecker",
+    "ShardAccountingChecker",
     "default_checkers",
     "service_checkers",
     "run_checkers",
@@ -670,7 +671,8 @@ class ResilienceAccountingChecker(InvariantChecker):
       (``SUP_WORKER_CRASH_DETECTED``) cannot crash again unless the pid
       re-entered the pool via ``SUP_WORKER_RESPAWNED``, and the
       ``restarts`` counter carried by ``SUP_POOL_RESTARTED`` increases
-      strictly monotonically.
+      strictly monotonically per pool (the ``pool`` label; one stream
+      can carry many pools — the sharded tier runs one per replica).
 
     On a healthy stream (no ``FLT_*``/``SUP_*`` events at all) every rule
     is vacuously satisfied, so the checker can ride on any service run.
@@ -724,7 +726,7 @@ class ResilienceAccountingChecker(InvariantChecker):
         self.worker_respawns = 0
         self.pool_restarts = 0
         self._crashed_pids: set = set()
-        self._last_restart_count = 0
+        self._last_restart_count: dict = {}  # pool label -> last counter
 
     def observe(self, event: TraceEvent) -> None:
         kind = event.kind
@@ -796,12 +798,14 @@ class ResilienceAccountingChecker(InvariantChecker):
             self.pool_restarts += 1
             count = data.get("restarts")
             if count is not None:
-                if count <= self._last_restart_count:
+                pool = data.get("pool", "")
+                last = self._last_restart_count.get(pool, 0)
+                if count <= last:
                     self._violate(
-                        f"pool restart counter went {self._last_restart_count} "
+                        f"pool {pool!r} restart counter went {last} "
                         f"-> {count}; restarts must increase strictly"
                     )
-                self._last_restart_count = count
+                self._last_restart_count[pool] = count
         elif kind in (
             EventKind.SVC_REQUEST_ERROR,
             EventKind.SVC_REQUEST_TIMEOUT,
@@ -1111,6 +1115,252 @@ class RecoveryAccountingChecker(InvariantChecker):
         }
 
 
+class ShardAccountingChecker(InvariantChecker):
+    """Routing and fan-out accounting of the sharded tier (repro.shard).
+
+    The router announces the topology up front — one ``SHD_SHARD_UP``
+    per (shard, tree) carrying the shard's stored-content bounding box —
+    and every later event carries the request's geometry, so the checker
+    can *recompute* each routing decision offline and compare:
+
+    * **fan-out matches geometry** — a window request's routed shard set
+      equals the shards whose content box intersects the window; a join
+      request's equals the shards where both trees' content boxes
+      overlap each other (and the window, if any); a kNN request's
+      candidate set is every shard storing the tree, and each candidate
+      is either queried or explicitly skipped;
+    * **sub-requests settle exactly once** — every
+      ``SHD_SUBREQUEST_SENT`` is closed by exactly one of
+      ``SHD_SUBREQUEST_DONE`` / ``SHD_FAILOVER`` (which must be followed
+      by another send) / ``SHD_SUBREQUEST_FAILED``, at most one DONE per
+      (request, shard), and nothing is still open at end of stream;
+    * **kNN pruning is lawful** — a ``SHD_SHARD_SKIPPED`` must carry
+      ``mindist`` strictly above the ``kth`` bound it was pruned
+      against (an equal-distance shard could hold a tie that wins by
+      oid order, so it may never be skipped);
+    * **merges conserve rows** — a join merge reports zero duplicate
+      pairs and exactly the sum of its parts (the reference-point rule
+      makes shard contributions disjoint); window and kNN merges never
+      exceed their parts (boundary replicas lawfully collapse).
+
+    On a stream without ``SHD_*`` events every rule is vacuous, so the
+    checker rides in the default set like the other accounting checkers.
+    """
+
+    name = "shard-accounting"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._content: dict = {}  # (shard, tree) -> bbox tuple or None
+        self._shards_by_tree: dict = {}  # tree -> set of storing shards
+        self._routed: dict = {}  # req -> (cls, frozenset of shards)
+        self._sub: dict = {}  # (req, shard) -> [sent, done, failover, failed]
+        self._rows: dict = {}  # req -> rows summed over DONE events
+        self._touched: dict = {}  # req -> shards sent or skipped (kNN law)
+        self.shards_up = 0
+        self.routed = 0
+        self.subrequests = 0
+        self.completions = 0
+        self.failovers = 0
+        self.failures = 0
+        self.skips = 0
+        self.merges = 0
+        self.duplicates = 0
+
+    # -- geometry (closed-interval, identical to Rect.intersects) -------------
+    @staticmethod
+    def _intersects(a, b) -> bool:
+        return not (
+            a[2] < b[0] or b[2] < a[0] or a[3] < b[1] or b[3] < a[1]
+        )
+
+    def _storing(self, tree) -> set:
+        return self._shards_by_tree.get(tree, set())
+
+    def _expected_window(self, tree, box) -> set:
+        return {
+            shard
+            for shard in self._storing(tree)
+            if self._intersects(self._content[(shard, tree)], box)
+        }
+
+    def _expected_join(self, tree_r, tree_s, box) -> set:
+        expected = set()
+        for shard in self._storing(tree_r) & self._storing(tree_s):
+            mbr_r = self._content[(shard, tree_r)]
+            mbr_s = self._content[(shard, tree_s)]
+            if not self._intersects(mbr_r, mbr_s):
+                continue
+            if box is not None and not (
+                self._intersects(mbr_r, box) and self._intersects(mbr_s, box)
+            ):
+                continue
+            expected.add(shard)
+        return expected
+
+    # -- stream ---------------------------------------------------------------
+    def observe(self, event: TraceEvent) -> None:
+        kind = event.kind
+        data = event.data
+        if kind is EventKind.SHD_SHARD_UP:
+            self.shards_up += 1
+            shard, tree = data.get("shard"), data.get("tree")
+            if data.get("empty"):
+                self._content[(shard, tree)] = None
+            else:
+                self._content[(shard, tree)] = (
+                    data.get("xl"), data.get("yl"),
+                    data.get("xu"), data.get("yu"),
+                )
+                self._shards_by_tree.setdefault(tree, set()).add(shard)
+        elif kind is EventKind.SHD_REQUEST_ROUTED:
+            self.routed += 1
+            req, cls = data.get("req"), data.get("cls")
+            raw = data.get("shards", "")
+            actual = frozenset(int(s) for s in raw.split(",") if s != "")
+            self._routed[req] = (cls, actual)
+            expected = None
+            if cls == "window":
+                expected = self._expected_window(
+                    data.get("tree"),
+                    (data.get("xl"), data.get("yl"),
+                     data.get("xu"), data.get("yu")),
+                )
+            elif cls == "join":
+                box = None
+                if data.get("wxl") is not None:
+                    box = (data.get("wxl"), data.get("wyl"),
+                           data.get("wxu"), data.get("wyu"))
+                expected = self._expected_join(
+                    data.get("tree_r"), data.get("tree_s"), box
+                )
+            elif cls == "knn":
+                # Every shard storing the tree is a candidate; pruning
+                # happens per shard and is ledgered by SKIPPED events.
+                expected = self._storing(data.get("tree"))
+            if expected is not None and actual != expected:
+                self._violate(
+                    f"request {req} ({cls}) routed to shards "
+                    f"{sorted(actual)} but its geometry overlaps "
+                    f"{sorted(expected)}"
+                )
+        elif kind is EventKind.SHD_SUBREQUEST_SENT:
+            self.subrequests += 1
+            req, shard = data.get("req"), data.get("shard")
+            entry = self._sub.setdefault((req, shard), [0, 0, 0, 0])
+            entry[0] += 1
+            if entry[0] - (entry[1] + entry[2] + entry[3]) > 1:
+                self._violate(
+                    f"request {req} shard {shard}: overlapping attempts "
+                    f"(send before the previous attempt settled)"
+                )
+            routed = self._routed.get(req)
+            if routed is not None and shard not in routed[1]:
+                self._violate(
+                    f"request {req}: sub-request sent to shard {shard} "
+                    f"outside its routed set {sorted(routed[1])}"
+                )
+            self._touched.setdefault(req, set()).add(shard)
+        elif kind is EventKind.SHD_SUBREQUEST_DONE:
+            self.completions += 1
+            req, shard = data.get("req"), data.get("shard")
+            entry = self._sub.setdefault((req, shard), [0, 0, 0, 0])
+            entry[1] += 1
+            if entry[1] > 1:
+                self._violate(
+                    f"request {req} shard {shard}: sub-request completed "
+                    f"twice — rows would merge twice"
+                )
+            self._rows[req] = self._rows.get(req, 0) + data.get("rows", 0)
+        elif kind is EventKind.SHD_FAILOVER:
+            self.failovers += 1
+            req, shard = data.get("req"), data.get("shard")
+            entry = self._sub.setdefault((req, shard), [0, 0, 0, 0])
+            entry[2] += 1
+        elif kind is EventKind.SHD_SUBREQUEST_FAILED:
+            self.failures += 1
+            req, shard = data.get("req"), data.get("shard")
+            entry = self._sub.setdefault((req, shard), [0, 0, 0, 0])
+            entry[3] += 1
+            if entry[1]:
+                self._violate(
+                    f"request {req} shard {shard}: failed after completing"
+                )
+        elif kind is EventKind.SHD_SHARD_SKIPPED:
+            self.skips += 1
+            req, shard = data.get("req"), data.get("shard")
+            bound, kth = data.get("mindist"), data.get("kth")
+            if bound is None or kth is None or not bound > kth:
+                self._violate(
+                    f"request {req} shard {shard}: skipped with mindist "
+                    f"{bound} not strictly above the k-th bound {kth} — an "
+                    f"equal-distance tie could have been pruned"
+                )
+            self._touched.setdefault(req, set()).add(shard)
+        elif kind is EventKind.SHD_MERGED:
+            self.merges += 1
+            req, cls = data.get("req"), data.get("cls")
+            rows = data.get("rows", 0)
+            parts = data.get("parts", 0)
+            duplicates = data.get("duplicates", 0)
+            self.duplicates += duplicates
+            if cls == "join":
+                if duplicates:
+                    self._violate(
+                        f"request {req}: join merge dropped {duplicates} "
+                        f"duplicate pair(s) — reference-point elimination "
+                        f"failed"
+                    )
+                if rows != parts:
+                    self._violate(
+                        f"request {req}: join merged {rows} rows from "
+                        f"{parts} shard rows — rows lost or invented"
+                    )
+            elif rows > parts:
+                self._violate(
+                    f"request {req} ({cls}): merged {rows} rows out of "
+                    f"only {parts} shard rows"
+                )
+            routed = self._routed.get(req)
+            if cls == "knn" and routed is not None:
+                touched = self._touched.get(req, set())
+                if touched != routed[1]:
+                    self._violate(
+                        f"request {req} (knn): candidates "
+                        f"{sorted(routed[1])} but only {sorted(touched)} "
+                        f"were queried or explicitly skipped"
+                    )
+
+    # -- final reconciliation -------------------------------------------------
+    def at_end(self) -> None:
+        dangling = sorted(
+            (req, shard)
+            for (req, shard), e in self._sub.items()
+            if e[0] != e[1] + e[2] + e[3]
+        )
+        for req, shard in dangling[:MAX_STORED_VIOLATIONS]:
+            entry = self._sub[(req, shard)]
+            self._violate(
+                f"request {req} shard {shard}: {entry[0]} send(s) vs "
+                f"{entry[1]} done + {entry[2]} failover(s) + {entry[3]} "
+                f"failure(s) — a sub-request never settled"
+            )
+        self.violation_count += max(0, len(dangling) - MAX_STORED_VIOLATIONS)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "shards_up": self.shards_up,
+            "requests_routed": self.routed,
+            "subrequests": self.subrequests,
+            "completions": self.completions,
+            "failovers": self.failovers,
+            "failures": self.failures,
+            "knn_skips": self.skips,
+            "merges": self.merges,
+            "duplicates": self.duplicates,
+        }
+
+
 def default_checkers() -> list[InvariantChecker]:
     """One fresh instance of every standard checker."""
     return [
@@ -1124,6 +1374,8 @@ def default_checkers() -> list[InvariantChecker]:
         ResilienceAccountingChecker(),
         # Likewise vacuous without LSE_*/JNL_* recovery events.
         RecoveryAccountingChecker(),
+        # And vacuous without SHD_* sharded-routing events.
+        ShardAccountingChecker(),
     ]
 
 
@@ -1147,11 +1399,19 @@ def recovery_checkers() -> list[InvariantChecker]:
 
 
 def service_checkers() -> list[InvariantChecker]:
-    """Fresh checkers for a serving-engine (wall-clock) event stream."""
+    """Fresh checkers for a serving-engine (wall-clock) event stream.
+
+    Covers the sharded tier too: the router speaks the same ``SVC_*``
+    protocol, adds the ``SHD_*`` routing ledger, and settles its
+    failover re-leases through ``LSE_*`` events — all three reconciled
+    here (the latter two vacuously on unsharded streams).
+    """
     return [
         ServiceAccountingChecker(),
         ResilienceAccountingChecker(),
         ClockMonotonicityChecker(),
+        ShardAccountingChecker(),
+        RecoveryAccountingChecker(),
     ]
 
 

@@ -87,6 +87,23 @@ class EventKind(str, enum.Enum):
     #: with no stale cache entry) — the 503 of the engine.
     SVC_REQUEST_SHED = "svc_request_shed"
 
+    # sharded serving tier (repro.shard) — routing / fan-out ledger
+    #: One per (shard, tree) at router start: the shard's stored-content
+    #: geometry, so checkers can recompute routing decisions offline.
+    SHD_SHARD_UP = "shd_shard_up"
+    #: A request's fan-out decision: which shards its geometry overlaps.
+    SHD_REQUEST_ROUTED = "shd_request_routed"
+    SHD_SUBREQUEST_SENT = "shd_subrequest_sent"
+    SHD_SUBREQUEST_DONE = "shd_subrequest_done"
+    #: Terminal failure of one routed sub-request (attempts exhausted or
+    #: the awaiting request abandoned it).
+    SHD_SUBREQUEST_FAILED = "shd_subrequest_failed"
+    #: A failed attempt re-leased to the next replica of the same shard.
+    SHD_FAILOVER = "shd_failover"
+    #: A kNN candidate shard pruned by the best-first merge bound.
+    SHD_SHARD_SKIPPED = "shd_shard_skipped"
+    SHD_MERGED = "shd_merged"
+
     # fault injection (repro.faults) — the sabotage ledger
     FLT_INJECT_CRASH = "flt_inject_crash"
     FLT_INJECT_HANG = "flt_inject_hang"

@@ -1,0 +1,147 @@
+"""Property-based tests for the shard partitioner and routed queries.
+
+The laws the sharded tier must uphold for *any* dataset:
+
+* every object is owned by exactly one shard (replication adds copies
+  only to shards whose cells its MBR overlaps);
+* the shard cells tile the fitted data MBR exactly;
+* a window's routed shard set equals the brute-force set of shards
+  whose regions the window overlaps, and the merged window answer
+  equals a brute-force scan — in both partitioning modes;
+* sharded kNN equals a brute-force scan, tie order included.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Rect
+from repro.rtree.query import oid_order_key
+from repro.shard.ops import sharded_knn, sharded_window
+from repro.shard.partition import Partitioner, build_sharded, partition_items
+
+coords = st.floats(
+    min_value=-100.0, max_value=100.0,
+    allow_nan=False, allow_infinity=False, width=32,
+)
+extents = st.floats(
+    min_value=0.0, max_value=25.0,
+    allow_nan=False, allow_infinity=False, width=32,
+)
+
+
+@st.composite
+def rects(draw):
+    x = draw(coords)
+    y = draw(coords)
+    return Rect(x, y, x + draw(extents), y + draw(extents))
+
+
+@st.composite
+def datasets(draw):
+    rs = draw(st.lists(rects(), min_size=1, max_size=60))
+    return [(oid, rect) for oid, rect in enumerate(rs)]
+
+
+modes = st.sampled_from(["grid", "zrange"])
+shard_counts = st.integers(min_value=1, max_value=7)
+
+
+class TestPartitionLaws:
+    @given(datasets(), shard_counts, modes)
+    @settings(max_examples=60, deadline=None)
+    def test_every_object_owned_exactly_once(self, items, k, mode):
+        pmap = Partitioner(k, mode=mode).fit(items)
+        owned, replicated = partition_items(items, pmap)
+        seen = sorted(oid for per in owned for oid, _ in per)
+        assert seen == [oid for oid, _ in items]
+        # replicas appear exactly on the overlapping shards
+        by_oid = dict(items)
+        for shard, per in enumerate(replicated):
+            for oid, _ in per:
+                assert shard in pmap.shards_of_rect(by_oid[oid])
+        for oid, rect in items:
+            copies = sum(
+                1 for per in replicated if any(o == oid for o, _ in per)
+            )
+            assert copies == len(pmap.shards_of_rect(rect))
+
+    @given(datasets(), shard_counts, modes)
+    @settings(max_examples=60, deadline=None)
+    def test_cells_tile_the_data_mbr(self, items, k, mode):
+        pmap = Partitioner(k, mode=mode).fit(items)
+        bounds = pmap.bounds()
+        cells = [pmap.cell_rect(c) for c in range(pmap.gx * pmap.gy)]
+        assert sum(c.area() for c in cells) <= bounds.area() + 1e-6
+        assert math.isclose(
+            sum(c.area() for c in cells), bounds.area(),
+            rel_tol=1e-9, abs_tol=1e-9,
+        )
+        for cell in cells:
+            assert cell.xl >= bounds.xl - 1e-9 and cell.xu <= bounds.xu + 1e-9
+            assert cell.yl >= bounds.yl - 1e-9 and cell.yu <= bounds.yu + 1e-9
+        # every shard's cells are accounted for exactly once
+        assert sorted(
+            cell for s in range(k) for cell in pmap.shard_cells(s)
+        ) == list(range(pmap.gx * pmap.gy))
+
+
+class TestRoutedQueryLaws:
+    @given(datasets(), shard_counts, modes, rects())
+    @settings(max_examples=60, deadline=None)
+    def test_window_routing_and_answer_match_brute_force(
+        self, items, k, mode, window
+    ):
+        sharded = build_sharded({"d": items}, k, mode=mode)
+        pmap = sharded.pmap
+        # the geometric router set == brute-force cell-overlap set for
+        # in-bounds windows; clamping makes it a (safe) superset when the
+        # window lies outside the fitted data MBR
+        brute = {
+            shard
+            for shard in range(k)
+            if any(
+                window.intersects(pmap.cell_rect(cell))
+                for cell in pmap.shard_cells(shard)
+            )
+        }
+        geometric = set(pmap.shards_of_rect(window))
+        if window.intersects(pmap.bounds()):
+            assert geometric == brute
+        else:
+            assert geometric >= brute
+        # content routing never drops a shard that holds a match
+        routed = set(sharded.routed_shards("d", window))
+        _, replicated = partition_items(items, pmap)
+        holding = {
+            shard
+            for shard, per in enumerate(replicated)
+            if any(rect.intersects(window) for _, rect in per)
+        }
+        assert holding <= routed
+        got = sharded_window(sharded, "d", window)
+        want = tuple(sorted(
+            oid for oid, rect in items if rect.intersects(window)
+        ))
+        assert got == want
+
+    @given(datasets(), shard_counts, modes, coords, coords,
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_knn_matches_brute_force_with_tie_order(
+        self, items, shards, mode, x, y, k
+    ):
+        sharded = build_sharded({"d": items}, shards, mode=mode)
+        got = sharded_knn(sharded, "d", x, y, k)
+
+        def dist(rect):
+            dx = max(rect.xl - x, 0.0, x - rect.xu)
+            dy = max(rect.yl - y, 0.0, y - rect.yu)
+            return math.sqrt(dx * dx + dy * dy)
+
+        ranked = sorted(
+            ((dist(rect), oid_order_key(oid), oid) for oid, rect in items),
+        )
+        want = tuple((float(d), oid) for d, _, oid in ranked[:k])
+        assert got == want

@@ -1,0 +1,175 @@
+"""Partitioner mechanics: grids, Morton cuts, ownership, replication."""
+
+import random
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.shard.partition import (
+    PartitionMap,
+    Partitioner,
+    build_sharded,
+    partition_items,
+)
+
+
+def make_items(n, seed, side=100.0, max_extent=4.0):
+    rng = random.Random(seed)
+    items = []
+    for oid in range(n):
+        x = rng.uniform(0.0, side)
+        y = rng.uniform(0.0, side)
+        items.append(
+            (oid, Rect(x, y, x + rng.uniform(0.1, max_extent),
+                       y + rng.uniform(0.1, max_extent)))
+        )
+    return items
+
+
+class TestGridMode:
+    def test_one_cell_per_shard_near_square(self):
+        pmap = Partitioner(6, mode="grid").fit(make_items(50, 0))
+        assert pmap.gx * pmap.gy == 6
+        assert {pmap.gx, pmap.gy} == {2, 3}
+        assert sorted(set(pmap.owner)) == list(range(6))
+
+    def test_grid_orients_to_region_aspect(self):
+        wide = [(0, Rect(0, 0, 100, 10)), (1, Rect(90, 5, 100, 10))]
+        pmap = Partitioner(6, mode="grid").fit(wide)
+        assert pmap.gx > pmap.gy  # more columns along the long axis
+
+    def test_single_shard_is_one_cell(self):
+        pmap = Partitioner(1, mode="grid").fit(make_items(10, 1))
+        assert (pmap.gx, pmap.gy) == (1, 1)
+        assert set(pmap.shards_of_rect(Rect(-5, -5, 200, 200))) == {0}
+
+
+class TestOwnership:
+    @pytest.mark.parametrize("mode", ["grid", "zrange"])
+    def test_every_object_owned_exactly_once(self, mode):
+        items = make_items(300, 2)
+        pmap = Partitioner(5, mode=mode).fit(items)
+        owned, _ = partition_items(items, pmap)
+        seen = [oid for per_shard in owned for oid, _ in per_shard]
+        assert sorted(seen) == sorted(oid for oid, _ in items)
+
+    @pytest.mark.parametrize("mode", ["grid", "zrange"])
+    def test_every_point_owned_by_a_valid_shard(self, mode):
+        pmap = Partitioner(7, mode=mode).fit(make_items(200, 3))
+        rng = random.Random(4)
+        for _ in range(500):
+            x = rng.uniform(-20, 120)  # clamping covers out-of-range too
+            y = rng.uniform(-20, 120)
+            assert 0 <= pmap.owner_of_point(x, y) < 7
+
+    @pytest.mark.parametrize("mode", ["grid", "zrange"])
+    def test_cells_tile_the_bounds(self, mode):
+        pmap = Partitioner(4, mode=mode).fit(make_items(100, 5))
+        bounds = pmap.bounds()
+        area = sum(
+            pmap.cell_rect(cell).area()
+            for cell in range(pmap.gx * pmap.gy)
+        )
+        assert area == pytest.approx(bounds.area(), rel=1e-9)
+        # cell_of_point agrees with the cell rect containing the point
+        rng = random.Random(6)
+        for _ in range(200):
+            x = rng.uniform(bounds.xl, bounds.xu)
+            y = rng.uniform(bounds.yl, bounds.yu)
+            cell = pmap.cell_rect(pmap.cell_of_point(x, y))
+            assert cell.xl <= x <= cell.xu and cell.yl <= y <= cell.yu
+
+
+class TestReplication:
+    @pytest.mark.parametrize("mode", ["grid", "zrange"])
+    def test_replicated_to_every_overlapping_shard(self, mode):
+        items = make_items(150, 7)
+        pmap = Partitioner(4, mode=mode).fit(items)
+        _, replicated = partition_items(items, pmap)
+        stored = {
+            shard: {oid for oid, _ in per_shard}
+            for shard, per_shard in enumerate(replicated)
+        }
+        for oid, rect in items:
+            overlapping = set(pmap.shards_of_rect(rect))
+            for shard in overlapping:
+                assert oid in stored[shard], (oid, shard)
+        # and nowhere else
+        for shard, oids in stored.items():
+            region = pmap.shard_region(shard)
+            for oid in oids:
+                rect = dict(items)[oid]
+                assert any(
+                    rect.intersects(pmap.cell_rect(cell))
+                    for cell in pmap.shard_cells(shard)
+                ), (oid, shard, region)
+
+
+class TestZrangeBalance:
+    def test_every_shard_gets_cells_and_counts_balance(self):
+        items = make_items(800, 8, max_extent=1.0)
+        pmap = Partitioner(6, mode="zrange").fit(items)
+        per_shard_cells = [len(pmap.shard_cells(s)) for s in range(6)]
+        assert all(c >= 1 for c in per_shard_cells)
+        owned, _ = partition_items(items, pmap)
+        counts = [len(per) for per in owned]
+        assert sum(counts) == len(items)
+        # uniform data: greedy equal-count cuts keep shards within 2x
+        assert max(counts) <= 2 * max(1, min(counts))
+
+    def test_skewed_data_still_covers_every_shard(self):
+        rng = random.Random(9)
+        # 90% of objects in one corner cell's worth of space
+        items = []
+        for oid in range(300):
+            if oid % 10:
+                x, y = rng.uniform(0, 5), rng.uniform(0, 5)
+            else:
+                x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+            items.append((oid, Rect(x, y, x + 0.5, y + 0.5)))
+        pmap = Partitioner(5, mode="zrange").fit(items)
+        owned, _ = partition_items(items, pmap)
+        assert sum(len(per) for per in owned) == 300
+        assert all(len(pmap.shard_cells(s)) >= 1 for s in range(5))
+
+
+class TestDegenerate:
+    @pytest.mark.parametrize("mode", ["grid", "zrange"])
+    def test_single_point_dataset(self, mode):
+        items = [(0, Rect(5.0, 5.0, 5.0, 5.0))]
+        pmap = Partitioner(3, mode=mode).fit(items)
+        owned, replicated = partition_items(items, pmap)
+        assert sum(len(per) for per in owned) == 1
+        assert sum(len(per) for per in replicated) >= 1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            Partitioner(0)
+        with pytest.raises(ValueError):
+            Partitioner(2, mode="hash")
+        with pytest.raises(ValueError):
+            Partitioner(2, mode="grid").fit([])
+
+
+class TestBuildSharded:
+    @pytest.mark.parametrize("backend", ["node", "flat"])
+    def test_trees_match_replicated_counts(self, backend):
+        datasets = {"a": make_items(120, 10), "b": make_items(80, 11)}
+        sharded = build_sharded(datasets, 4, backend=backend)
+        assert sharded.shards == 4
+        for shard in range(4):
+            for name in ("a", "b"):
+                tree = sharded.trees[shard][name]
+                count = sharded.counts[shard][name]
+                assert tree.size == count
+                mbr = sharded.content_mbrs[shard][name]
+                assert (mbr is None) == (count == 0)
+
+    def test_one_map_fits_all_datasets(self):
+        left = [(i, Rect(i, 0, i + 1, 1)) for i in range(10)]
+        right = [(i, Rect(i + 50, 50, i + 51, 51)) for i in range(10)]
+        sharded = build_sharded({"l": left, "r": right}, 4)
+        # the map covers both datasets' extents
+        bounds = sharded.pmap.bounds()
+        assert bounds.xl <= 0 and bounds.xu >= 60
+        assert bounds.yl <= 0 and bounds.yu >= 51

@@ -1,0 +1,222 @@
+"""ShardRouter behaviour: routing, merging, failover, admission, traces."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.geometry.rect import Rect
+from repro.rtree.bulk import str_bulk_load
+from repro.rtree.query import nearest_neighbors, window_query
+from repro.join.sequential import sequential_join
+from repro.service.model import (
+    JoinRequest,
+    KNNRequest,
+    Status,
+    WindowRequest,
+    canonical_rect,
+)
+from repro.shard import ShardConfig, ShardRouter
+from repro.trace import (
+    EventKind,
+    ListSink,
+    run_checkers,
+    service_checkers,
+)
+
+
+def make_items(n, seed, side=100.0):
+    rng = random.Random(seed)
+    items = []
+    for oid in range(n):
+        x, y = rng.uniform(0, side), rng.uniform(0, side)
+        items.append(
+            (oid, Rect(x, y, x + rng.uniform(0.2, 3.0),
+                       y + rng.uniform(0.2, 3.0)))
+        )
+    return items
+
+
+DATASETS = {"a": make_items(250, 1), "b": make_items(180, 2)}
+ORACLE = {name: str_bulk_load(items) for name, items in DATASETS.items()}
+
+
+def config(**kw):
+    base = dict(shards=4, replicas=1, workers=0, supervise=False,
+                cache_capacity=0)
+    base.update(kw)
+    return ShardConfig(**base)
+
+
+def assert_checkers_clean(sink):
+    verdicts = run_checkers(sink.events, service_checkers())
+    bad = [(v.checker, v.violations) for v in verdicts if not v.ok]
+    assert not bad, bad
+
+
+class TestRoutingParity:
+    def test_window_knn_join_match_single_tree(self):
+        sink = ListSink()
+
+        async def main():
+            results = {}
+            async with ShardRouter(DATASETS, config(replicas=2),
+                                   sinks=[sink]) as router:
+                rng = random.Random(5)
+                for i in range(10):
+                    x, y = rng.uniform(0, 90), rng.uniform(0, 90)
+                    w = (x, y, x + 12, y + 12)
+                    r = await router.submit(WindowRequest("a", w))
+                    assert r.status is Status.OK
+                    canon = Rect(*canonical_rect(w))
+                    want = tuple(sorted(
+                        e.oid for e in window_query(ORACLE["a"], canon)
+                    ))
+                    assert r.value == want
+                    r = await router.submit(KNNRequest("a", x, y, 5))
+                    found = nearest_neighbors(ORACLE["a"], x, y, k=5)
+                    assert r.value == tuple((float(d), e.oid) for d, e in found)
+                r = await router.submit(JoinRequest("a", "b"))
+                want = tuple(sorted(sequential_join(ORACLE["a"], ORACLE["b"]).pairs))
+                assert r.value == want
+                results["snapshot"] = router.snapshot()
+            return results
+
+        results = asyncio.run(main())
+        assert_checkers_clean(sink)
+        snap = results["snapshot"]
+        assert set(snap["shards"]) == {"0", "1", "2", "3"}
+        assert snap["partition"]["shards"] == 4
+        assert sum(s["subrequests"] for s in snap["shards"].values()) > 0
+
+    def test_fanout_only_overlapping_shards(self):
+        sink = ListSink()
+
+        async def main():
+            async with ShardRouter(DATASETS, config(), sinks=[sink]) as router:
+                # a tiny window deep inside one shard's interior
+                r = await router.submit(WindowRequest("a", (10, 10, 11, 11)))
+                assert r.status is Status.OK
+
+        asyncio.run(main())
+        routed = [e for e in sink.events
+                  if e.kind == EventKind.SHD_REQUEST_ROUTED]
+        assert len(routed) == 1
+        fanned = routed[0].data["shards"].split(",")
+        assert 1 <= len([s for s in fanned if s]) < 4
+        assert_checkers_clean(sink)
+
+
+class TestCacheAndAdmission:
+    def test_cache_hit_on_repeat(self):
+        async def main():
+            async with ShardRouter(
+                DATASETS, config(cache_capacity=64)
+            ) as router:
+                first = await router.submit(WindowRequest("a", (5, 5, 30, 30)))
+                second = await router.submit(WindowRequest("a", (5, 5, 30, 30)))
+                return first, second
+
+        first, second = asyncio.run(main())
+        assert first.status is Status.OK and not first.cached
+        assert second.status is Status.OK and second.cached
+        assert second.value == first.value
+
+    def test_rejects_after_stop(self):
+        async def main():
+            router = ShardRouter(DATASETS, config())
+            await router.start()
+            await router.stop()
+            return await router.submit(WindowRequest("a", (0, 0, 1, 1)))
+
+        response = asyncio.run(main())
+        assert response.status is Status.REJECTED
+
+    def test_unknown_tree_is_an_error(self):
+        async def main():
+            async with ShardRouter(DATASETS, config()) as router:
+                return await router.submit(
+                    WindowRequest("missing", (0, 0, 1, 1))
+                )
+
+        response = asyncio.run(main())
+        assert response.status is Status.ERROR
+        assert "missing" in response.detail
+
+
+class TestFailover:
+    def test_crashes_fail_over_to_replicas_zero_lost(self):
+        sink = ListSink()
+        plan = FaultPlan(seed=11, worker_crash_p=0.3)
+
+        async def main():
+            statuses = []
+            async with ShardRouter(
+                DATASETS,
+                config(replicas=2, workers=2, supervise=True, faults=plan,
+                       max_attempts=4, attempt_timeout_s=2.0),
+                sinks=[sink],
+            ) as router:
+                rng = random.Random(3)
+                for _ in range(30):
+                    x, y = rng.uniform(0, 90), rng.uniform(0, 90)
+                    r = await router.submit(
+                        WindowRequest("a", (x, y, x + 10, y + 10))
+                    )
+                    statuses.append(r.status)
+                snap = router.snapshot()
+            return statuses, snap
+
+        statuses, snap = asyncio.run(main())
+        assert all(s is Status.OK for s in statuses)
+        failovers = [e for e in sink.events if e.kind == EventKind.SHD_FAILOVER]
+        assert failovers, "crash_p=0.3 over 30 requests must fail over"
+        # every failover re-dispatched to the other replica
+        for event in failovers:
+            assert event.data["next_replica"] != event.data["replica"]
+        assert snap["leases"]["active"] == 0
+        assert snap["leases"]["expired"] == len(failovers)
+        assert_checkers_clean(sink)
+
+    def test_single_replica_retries_same_pool(self):
+        sink = ListSink()
+        plan = FaultPlan(seed=7, worker_crash_p=0.25)
+
+        async def main():
+            async with ShardRouter(
+                DATASETS,
+                config(replicas=1, workers=0, faults=plan, max_attempts=3),
+                sinks=[sink],
+            ) as router:
+                rng = random.Random(1)
+                responses = []
+                for _ in range(25):
+                    x, y = rng.uniform(0, 90), rng.uniform(0, 90)
+                    responses.append(await router.submit(
+                        WindowRequest("a", (x, y, x + 8, y + 8))
+                    ))
+            return responses
+
+        responses = asyncio.run(main())
+        assert all(r.status is Status.OK for r in responses)
+        assert_checkers_clean(sink)
+
+
+class TestSnapshot:
+    def test_engine_shape_plus_shards(self):
+        async def main():
+            async with ShardRouter(DATASETS, config()) as router:
+                await router.submit(WindowRequest("a", (0, 0, 50, 50)))
+                return router.snapshot()
+
+        snap = asyncio.run(main())
+        for key in ("metrics", "cache", "inflight", "running", "breakers",
+                    "pool", "partition", "leases", "ledger", "shards"):
+            assert key in snap, key
+        assert snap["partition"]["mode"] == "grid"
+        for stats in snap["shards"].values():
+            for key in ("objects", "subrequests", "rows", "failovers",
+                        "knn_skips", "inflight", "queue_depth", "replicas",
+                        "pool_restarts"):
+                assert key in stats, key

@@ -300,6 +300,7 @@ class TestCheckerPlumbing:
             "clock-monotonicity",
             "resilience-accounting",
             "recovery-accounting",
+            "shard-accounting",
         ]
 
     def test_run_checkers_replays_everything(self):
@@ -307,7 +308,7 @@ class TestCheckerPlumbing:
         s.emit(EventKind.RUN_START, disks=2, reassign_level="all", task_level=1)
         s.emit(EventKind.RUN_END)
         verdicts = run_checkers(s.events)
-        assert len(verdicts) == 7
+        assert len(verdicts) == 8
         assert all(v.ok for v in verdicts)
 
     def test_violation_storage_is_capped(self):

@@ -1,0 +1,281 @@
+"""ShardAccountingChecker on handcrafted SHD_* event streams."""
+
+from repro.trace import (
+    EventKind,
+    ShardAccountingChecker,
+    TraceEvent,
+    default_checkers,
+    service_checkers,
+)
+
+
+class Stream:
+    def __init__(self):
+        self.events: list[TraceEvent] = []
+        self.now = 0.0
+
+    def emit(self, kind, proc=-1, **data):
+        self.events.append(
+            TraceEvent(len(self.events), self.now, kind, proc, data)
+        )
+        self.now += 0.001
+        return self
+
+
+def verdict_of(events):
+    checker = ShardAccountingChecker()
+    for event in events:
+        checker.handle(event)
+    return checker.finish()
+
+
+def topology(s):
+    """Two shards for tree 'a': shard 0 owns x ∈ [0,50], shard 1 x ∈ [50,100]."""
+    s.emit(EventKind.SHD_SHARD_UP, shard=0, tree="a", objects=10,
+           xl=0.0, yl=0.0, xu=50.0, yu=100.0)
+    s.emit(EventKind.SHD_SHARD_UP, shard=1, tree="a", objects=10,
+           xl=50.0, yl=0.0, xu=100.0, yu=100.0)
+    return s
+
+
+def topology_join(s):
+    topology(s)
+    s.emit(EventKind.SHD_SHARD_UP, shard=0, tree="b", objects=5,
+           xl=0.0, yl=0.0, xu=50.0, yu=100.0)
+    s.emit(EventKind.SHD_SHARD_UP, shard=1, tree="b", objects=5,
+           xl=50.0, yl=0.0, xu=100.0, yu=100.0)
+    return s
+
+
+class TestCleanStreams:
+    def test_window_fanout_settles(self):
+        s = topology(Stream())
+        s.emit(EventKind.SHD_REQUEST_ROUTED, req=1, cls="window", fanout=2,
+               shards="0,1", tree="a", xl=40.0, yl=10.0, xu=60.0, yu=20.0)
+        for shard in (0, 1):
+            s.emit(EventKind.SHD_SUBREQUEST_SENT, req=1, shard=shard,
+                   replica=0, attempt=0, op="windows")
+            s.emit(EventKind.SHD_SUBREQUEST_DONE, req=1, shard=shard,
+                   replica=0, attempt=0, rows=3)
+        s.emit(EventKind.SHD_MERGED, req=1, cls="window", rows=5, parts=6,
+               duplicates=1)
+        verdict = verdict_of(s.events)
+        assert verdict.ok, verdict.violations
+        assert verdict.stats["requests_routed"] == 1
+        assert verdict.stats["subrequests"] == 2
+        assert verdict.stats["completions"] == 2
+
+    def test_knn_with_lawful_skip(self):
+        s = topology(Stream())
+        s.emit(EventKind.SHD_REQUEST_ROUTED, req=2, cls="knn", fanout=2,
+               shards="0,1", tree="a", x=10.0, y=50.0, k=2)
+        s.emit(EventKind.SHD_SUBREQUEST_SENT, req=2, shard=0, replica=0,
+               attempt=0, op="knn")
+        s.emit(EventKind.SHD_SUBREQUEST_DONE, req=2, shard=0, replica=0,
+               attempt=0, rows=2)
+        s.emit(EventKind.SHD_SHARD_SKIPPED, req=2, shard=1, mindist=40.0,
+               kth=5.0)
+        s.emit(EventKind.SHD_MERGED, req=2, cls="knn", rows=2, parts=2,
+               duplicates=0)
+        verdict = verdict_of(s.events)
+        assert verdict.ok, verdict.violations
+        assert verdict.stats["knn_skips"] == 1
+
+    def test_failover_then_success(self):
+        s = topology(Stream())
+        s.emit(EventKind.SHD_REQUEST_ROUTED, req=3, cls="window", fanout=1,
+               shards="0", tree="a", xl=1.0, yl=1.0, xu=2.0, yu=2.0)
+        s.emit(EventKind.SHD_SUBREQUEST_SENT, req=3, shard=0, replica=0,
+               attempt=0, op="windows")
+        s.emit(EventKind.SHD_FAILOVER, req=3, shard=0, replica=0,
+               next_replica=1, attempt=0, error="WorkerCrash")
+        s.emit(EventKind.SHD_SUBREQUEST_SENT, req=3, shard=0, replica=1,
+               attempt=1, op="windows")
+        s.emit(EventKind.SHD_SUBREQUEST_DONE, req=3, shard=0, replica=1,
+               attempt=1, rows=1)
+        s.emit(EventKind.SHD_MERGED, req=3, cls="window", rows=1, parts=1,
+               duplicates=0)
+        verdict = verdict_of(s.events)
+        assert verdict.ok, verdict.violations
+        assert verdict.stats["failovers"] == 1
+
+    def test_join_disjoint_merge(self):
+        s = topology_join(Stream())
+        s.emit(EventKind.SHD_REQUEST_ROUTED, req=4, cls="join", fanout=2,
+               shards="0,1", tree_r="a", tree_s="b")
+        for shard in (0, 1):
+            s.emit(EventKind.SHD_SUBREQUEST_SENT, req=4, shard=shard,
+                   replica=0, attempt=0, op="shard_join")
+            s.emit(EventKind.SHD_SUBREQUEST_DONE, req=4, shard=shard,
+                   replica=0, attempt=0, rows=4)
+        s.emit(EventKind.SHD_MERGED, req=4, cls="join", rows=8, parts=8,
+               duplicates=0)
+        verdict = verdict_of(s.events)
+        assert verdict.ok, verdict.violations
+
+    def test_no_shard_events_is_vacuous(self):
+        verdict = verdict_of([])
+        assert verdict.ok
+        assert verdict.stats["requests_routed"] == 0
+
+
+class TestViolations:
+    def test_fanout_narrower_than_geometry(self):
+        # window spans both content boxes but only shard 0 is routed
+        s = topology(Stream())
+        s.emit(EventKind.SHD_REQUEST_ROUTED, req=1, cls="window", fanout=1,
+               shards="0", tree="a", xl=40.0, yl=10.0, xu=60.0, yu=20.0)
+        s.emit(EventKind.SHD_SUBREQUEST_SENT, req=1, shard=0, replica=0,
+               attempt=0, op="windows")
+        s.emit(EventKind.SHD_SUBREQUEST_DONE, req=1, shard=0, replica=0,
+               attempt=0, rows=1)
+        verdict = verdict_of(s.events)
+        assert not verdict.ok
+        assert "geometry overlaps" in verdict.violations[0]
+
+    def test_fanout_wider_than_geometry(self):
+        # window sits entirely inside shard 0 yet shard 1 is routed too
+        s = topology(Stream())
+        s.emit(EventKind.SHD_REQUEST_ROUTED, req=1, cls="window", fanout=2,
+               shards="0,1", tree="a", xl=1.0, yl=1.0, xu=2.0, yu=2.0)
+        for shard in (0, 1):
+            s.emit(EventKind.SHD_SUBREQUEST_SENT, req=1, shard=shard,
+                   replica=0, attempt=0, op="windows")
+            s.emit(EventKind.SHD_SUBREQUEST_DONE, req=1, shard=shard,
+                   replica=0, attempt=0, rows=0)
+        verdict = verdict_of(s.events)
+        assert not verdict.ok
+
+    def test_send_outside_routed_set(self):
+        s = topology(Stream())
+        s.emit(EventKind.SHD_REQUEST_ROUTED, req=1, cls="window", fanout=1,
+               shards="0", tree="a", xl=1.0, yl=1.0, xu=2.0, yu=2.0)
+        s.emit(EventKind.SHD_SUBREQUEST_SENT, req=1, shard=1, replica=0,
+               attempt=0, op="windows")
+        s.emit(EventKind.SHD_SUBREQUEST_DONE, req=1, shard=1, replica=0,
+               attempt=0, rows=0)
+        verdict = verdict_of(s.events)
+        assert not verdict.ok
+        assert any("outside its routed set" in v for v in verdict.violations)
+
+    def test_double_done_merges_rows_twice(self):
+        s = topology(Stream())
+        s.emit(EventKind.SHD_REQUEST_ROUTED, req=1, cls="window", fanout=1,
+               shards="0", tree="a", xl=1.0, yl=1.0, xu=2.0, yu=2.0)
+        s.emit(EventKind.SHD_SUBREQUEST_SENT, req=1, shard=0, replica=0,
+               attempt=0, op="windows")
+        s.emit(EventKind.SHD_SUBREQUEST_DONE, req=1, shard=0, replica=0,
+               attempt=0, rows=2)
+        s.emit(EventKind.SHD_SUBREQUEST_DONE, req=1, shard=0, replica=0,
+               attempt=0, rows=2)
+        verdict = verdict_of(s.events)
+        assert not verdict.ok
+        assert any("completed twice" in v for v in verdict.violations)
+
+    def test_unsettled_subrequest_at_end(self):
+        s = topology(Stream())
+        s.emit(EventKind.SHD_REQUEST_ROUTED, req=1, cls="window", fanout=1,
+               shards="0", tree="a", xl=1.0, yl=1.0, xu=2.0, yu=2.0)
+        s.emit(EventKind.SHD_SUBREQUEST_SENT, req=1, shard=0, replica=0,
+               attempt=0, op="windows")
+        verdict = verdict_of(s.events)
+        assert not verdict.ok
+        assert any("never settled" in v for v in verdict.violations)
+
+    def test_equal_distance_skip_is_unlawful(self):
+        s = topology(Stream())
+        s.emit(EventKind.SHD_REQUEST_ROUTED, req=1, cls="knn", fanout=2,
+               shards="0,1", tree="a", x=10.0, y=50.0, k=1)
+        s.emit(EventKind.SHD_SUBREQUEST_SENT, req=1, shard=0, replica=0,
+               attempt=0, op="knn")
+        s.emit(EventKind.SHD_SUBREQUEST_DONE, req=1, shard=0, replica=0,
+               attempt=0, rows=1)
+        s.emit(EventKind.SHD_SHARD_SKIPPED, req=1, shard=1, mindist=5.0,
+               kth=5.0)  # tie — must have been queried
+        s.emit(EventKind.SHD_MERGED, req=1, cls="knn", rows=1, parts=1,
+               duplicates=0)
+        verdict = verdict_of(s.events)
+        assert not verdict.ok
+        assert any("strictly above" in v for v in verdict.violations)
+
+    def test_join_with_duplicates(self):
+        s = topology_join(Stream())
+        s.emit(EventKind.SHD_REQUEST_ROUTED, req=1, cls="join", fanout=2,
+               shards="0,1", tree_r="a", tree_s="b")
+        for shard in (0, 1):
+            s.emit(EventKind.SHD_SUBREQUEST_SENT, req=1, shard=shard,
+                   replica=0, attempt=0, op="shard_join")
+            s.emit(EventKind.SHD_SUBREQUEST_DONE, req=1, shard=shard,
+                   replica=0, attempt=0, rows=3)
+        s.emit(EventKind.SHD_MERGED, req=1, cls="join", rows=5, parts=6,
+               duplicates=1)
+        verdict = verdict_of(s.events)
+        assert not verdict.ok
+        assert any("reference-point" in v for v in verdict.violations)
+
+    def test_join_rows_not_conserved(self):
+        s = topology_join(Stream())
+        s.emit(EventKind.SHD_REQUEST_ROUTED, req=1, cls="join", fanout=2,
+               shards="0,1", tree_r="a", tree_s="b")
+        for shard in (0, 1):
+            s.emit(EventKind.SHD_SUBREQUEST_SENT, req=1, shard=shard,
+                   replica=0, attempt=0, op="shard_join")
+            s.emit(EventKind.SHD_SUBREQUEST_DONE, req=1, shard=shard,
+                   replica=0, attempt=0, rows=3)
+        s.emit(EventKind.SHD_MERGED, req=1, cls="join", rows=5, parts=6,
+               duplicates=0)
+        verdict = verdict_of(s.events)
+        assert not verdict.ok
+        assert any("rows lost or invented" in v for v in verdict.violations)
+
+    def test_knn_candidate_neither_queried_nor_skipped(self):
+        s = topology(Stream())
+        s.emit(EventKind.SHD_REQUEST_ROUTED, req=1, cls="knn", fanout=2,
+               shards="0,1", tree="a", x=10.0, y=50.0, k=1)
+        s.emit(EventKind.SHD_SUBREQUEST_SENT, req=1, shard=0, replica=0,
+               attempt=0, op="knn")
+        s.emit(EventKind.SHD_SUBREQUEST_DONE, req=1, shard=0, replica=0,
+               attempt=0, rows=1)
+        # shard 1 silently ignored: no SENT, no SKIPPED
+        s.emit(EventKind.SHD_MERGED, req=1, cls="knn", rows=1, parts=1,
+               duplicates=0)
+        verdict = verdict_of(s.events)
+        assert not verdict.ok
+        assert any("explicitly skipped" in v for v in verdict.violations)
+
+    def test_window_merge_inventing_rows(self):
+        s = topology(Stream())
+        s.emit(EventKind.SHD_REQUEST_ROUTED, req=1, cls="window", fanout=1,
+               shards="0", tree="a", xl=1.0, yl=1.0, xu=2.0, yu=2.0)
+        s.emit(EventKind.SHD_SUBREQUEST_SENT, req=1, shard=0, replica=0,
+               attempt=0, op="windows")
+        s.emit(EventKind.SHD_SUBREQUEST_DONE, req=1, shard=0, replica=0,
+               attempt=0, rows=2)
+        s.emit(EventKind.SHD_MERGED, req=1, cls="window", rows=3, parts=2,
+               duplicates=0)
+        verdict = verdict_of(s.events)
+        assert not verdict.ok
+
+    def test_failed_after_done(self):
+        s = topology(Stream())
+        s.emit(EventKind.SHD_REQUEST_ROUTED, req=1, cls="window", fanout=1,
+               shards="0", tree="a", xl=1.0, yl=1.0, xu=2.0, yu=2.0)
+        s.emit(EventKind.SHD_SUBREQUEST_SENT, req=1, shard=0, replica=0,
+               attempt=0, op="windows")
+        s.emit(EventKind.SHD_SUBREQUEST_DONE, req=1, shard=0, replica=0,
+               attempt=0, rows=1)
+        s.emit(EventKind.SHD_SUBREQUEST_FAILED, req=1, shard=0, attempts=1,
+               error="late")
+        verdict = verdict_of(s.events)
+        assert not verdict.ok
+        assert any("failed after completing" in v for v in verdict.violations)
+
+
+class TestWiring:
+    def test_rides_in_both_checker_sets(self):
+        assert any(
+            isinstance(c, ShardAccountingChecker) for c in default_checkers()
+        )
+        assert any(
+            isinstance(c, ShardAccountingChecker) for c in service_checkers()
+        )
