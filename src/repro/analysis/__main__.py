@@ -5,9 +5,17 @@ Subcommands
 ``lint``      run the AST rules over source paths
 ``races``     run the trace race detector over a recorded JSONL trace
 ``external``  run the gated off-the-shelf tools (ruff, mypy)
-``all``       everything under one gate: lint + external + races; when no
-              ``--trace`` is given, a short traced GSRR simulation run is
-              generated on the fly so the race smoke test is self-contained
+``protocol``  model-check the protocol spec registry: prove every declared
+              safety property, validate the checker against the planted
+              spec mutations (each must yield a counterexample), and —
+              with ``--trace`` — replay a recorded JSONL stream through
+              the spec-compiled conformance monitors
+``lockorder`` interprocedural lock-order / await-graph analysis (acquire
+              cycles, blocking while holding a latch)
+``all``       everything under one gate: lint + external + protocol +
+              lockorder + races; when no ``--trace`` is given, a short
+              traced GSRR simulation run is generated on the fly so the
+              race and conformance smoke tests are self-contained
 
 Exit codes: **0** — gate passes (no unbaselined errors); **1** — new
 errors; **2** — the analysis itself failed.  Warnings never gate.
@@ -22,12 +30,15 @@ from pathlib import Path
 
 from . import external
 from .findings import (
+    Finding,
     Report,
+    Severity,
     diff_against_baseline,
     load_baseline,
     write_baseline,
 )
 from .lint import run_lint
+from .lockorder import analyze_lock_order
 from .races import detect_races
 
 DEFAULT_PATHS = ["src/repro"]
@@ -74,6 +85,30 @@ def _parser() -> argparse.ArgumentParser:
     ext = sub.add_parser("external", help="run ruff/mypy when installed")
     ext.add_argument("paths", nargs="*", default=None)
     common(ext)
+
+    protocol = sub.add_parser(
+        "protocol",
+        help="model-check the protocol specs and validate by mutation",
+    )
+    protocol.add_argument(
+        "--trace",
+        default=None,
+        metavar="JSONL",
+        help="also replay this trace through the conformance monitors",
+    )
+    protocol.add_argument(
+        "--skip-mutations",
+        action="store_true",
+        help="skip the mutation self-validation pass",
+    )
+    common(protocol)
+
+    lockorder = sub.add_parser(
+        "lockorder",
+        help="interprocedural lock-order / await-graph analysis",
+    )
+    lockorder.add_argument("paths", nargs="*", default=None)
+    common(lockorder)
 
     everything = sub.add_parser("all", help="lint + external + races gate")
     everything.add_argument("paths", nargs="*", default=None)
@@ -154,6 +189,132 @@ def _run_races_into(report: Report, trace: str, explain: bool) -> None:
     )
 
 
+_SPECS_PATH = "src/repro/analysis/protocol/specs.py"
+
+
+def _run_protocol_into(
+    report: Report, trace: str | None = None, skip_mutations: bool = False
+) -> None:
+    from .protocol import (
+        MUTATIONS,
+        SPECS,
+        check_spec,
+        format_counterexample,
+        get_spec,
+    )
+
+    findings = []
+    proved = 0
+    declared = 0
+    for spec in SPECS:
+        result = check_spec(spec)
+        declared += len(result.properties)
+        proved += sum(result.properties.values())
+        if result.truncated:
+            findings.append(
+                Finding(
+                    tool="protocol",
+                    rule="PROT003",
+                    severity=Severity.ERROR,
+                    path=_SPECS_PATH,
+                    line=0,
+                    message=(
+                        f"spec {spec.name!r}: state space exceeded "
+                        f"{result.states_explored} states — add a bound"
+                    ),
+                )
+            )
+        for failure in result.failures:
+            text = format_counterexample(spec, failure)
+            print(text)
+            findings.append(
+                Finding(
+                    tool="protocol",
+                    rule="PROT001",
+                    severity=Severity.ERROR,
+                    path=_SPECS_PATH,
+                    line=0,
+                    message=(
+                        f"spec {spec.name!r} violates safety property "
+                        f"{failure.prop!r}: {failure.description}"
+                    ),
+                    context=tuple(text.splitlines()),
+                )
+            )
+    mutation_note = "mutations skipped"
+    if not skip_mutations:
+        caught = 0
+        for mutation in MUTATIONS:
+            mutated = mutation.apply(get_spec(mutation.spec_name))
+            result = check_spec(mutated)
+            if result.properties.get(mutation.expect_property, True):
+                findings.append(
+                    Finding(
+                        tool="protocol",
+                        rule="PROT002",
+                        severity=Severity.ERROR,
+                        path=_SPECS_PATH,
+                        line=0,
+                        message=(
+                            f"planted mutation {mutation.name!r} "
+                            f"({mutation.description}) produced no "
+                            f"counterexample for "
+                            f"{mutation.expect_property!r} — the model "
+                            "checker is too weak to trust"
+                        ),
+                    )
+                )
+            else:
+                caught += 1
+        mutation_note = f"{caught}/{len(MUTATIONS)} mutations caught"
+    conformance_note = ""
+    if trace is not None:
+        from ..trace import TraceEvent
+        from ..trace.checkers import run_checkers
+        from .protocol import conformance_checkers
+
+        import json
+
+        events = []
+        with open(trace, "r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.strip():
+                    events.append(TraceEvent.from_json_dict(json.loads(line)))
+        verdicts = run_checkers(events, conformance_checkers())
+        for verdict in verdicts:
+            for violation in verdict.violations:
+                findings.append(
+                    Finding(
+                        tool="protocol",
+                        rule="CONF001",
+                        severity=Severity.ERROR,
+                        path=trace,
+                        line=0,
+                        message=f"[{verdict.checker}] {violation}",
+                    )
+                )
+        conformance_note = (
+            f", conformance over {len(events)} event(s): "
+            f"{sum(v.violation_count for v in verdicts)} violation(s)"
+        )
+    report.extend(findings)
+    report.tool_status["protocol"] = (
+        f"ok: {proved}/{declared} properties proved across "
+        f"{len(SPECS)} spec(s), {mutation_note}{conformance_note}"
+    )
+
+
+def _run_lockorder_into(report: Report, paths) -> None:
+    findings, stats = analyze_lock_order(paths)
+    report.extend(findings)
+    report.tool_status["lockorder"] = (
+        f"ok: {stats['functions']} function(s), {stats['locks']} lock(s), "
+        f"{stats['order_edges']} order edge(s), "
+        f"{stats['await_edges']} await edge(s), "
+        f"{stats['findings']} finding(s)"
+    )
+
+
 def _finish(report: Report, args) -> int:
     baseline_path = getattr(args, "baseline", None)
     if getattr(args, "write_baseline", False):
@@ -191,20 +352,30 @@ def main(argv=None) -> int:
             _run_races_into(report, args.trace, args.explain)
         elif args.command == "external":
             _run_external_into(report, _resolve_paths(args.paths))
+        elif args.command == "protocol":
+            _run_protocol_into(
+                report, trace=args.trace, skip_mutations=args.skip_mutations
+            )
+        elif args.command == "lockorder":
+            _run_lockorder_into(report, _resolve_paths(args.paths))
         elif args.command == "all":
             paths = _resolve_paths(args.paths)
             _run_lint_into(report, paths)
             _run_external_into(report, paths)
-            if not args.no_races:
-                if args.trace is not None:
-                    _run_races_into(report, args.trace, args.explain)
-                else:
-                    with tempfile.TemporaryDirectory() as tmp:
-                        trace_path = Path(tmp) / "sim-trace.jsonl"
-                        _generate_trace(trace_path)
-                        _run_races_into(report, str(trace_path), args.explain)
-                        # keep the report path stable across runs
-                        report.tool_status["races"] += " (generated run)"
+            _run_lockorder_into(report, paths)
+            if args.no_races:
+                _run_protocol_into(report)
+            elif args.trace is not None:
+                _run_protocol_into(report, trace=args.trace)
+                _run_races_into(report, args.trace, args.explain)
+            else:
+                with tempfile.TemporaryDirectory() as tmp:
+                    trace_path = Path(tmp) / "sim-trace.jsonl"
+                    _generate_trace(trace_path)
+                    _run_protocol_into(report, trace=str(trace_path))
+                    _run_races_into(report, str(trace_path), args.explain)
+                    # keep the report path stable across runs
+                    report.tool_status["races"] += " (generated run)"
     except Exception as exc:  # noqa: BLE001 - the gate must report, not crash
         print(f"analysis failed: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 2

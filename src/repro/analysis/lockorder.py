@@ -1,0 +1,510 @@
+"""Interprocedural lock-order / await-graph analysis.
+
+The repo has three families of mutual-exclusion objects:
+
+* **sim latches** — :class:`repro.sim.resources.Lock` and friends,
+  acquired as ``yield latch.acquire()`` inside simulation generators
+  (the paper's §3.2 directory latch);
+* **asyncio primitives** — ``await sem.acquire()`` in the serving tier
+  (admission semaphores);
+* **thread locks** — plain ``x.acquire()`` (none today, but external
+  contributions grow).
+
+This pass parses every function, tracks which locks are held across
+each statement (an ``.acquire()`` call opens a region, the matching
+``.release()`` closes it), and builds two interprocedural graphs:
+
+* the **lock-order graph**: an edge ``A -> B`` whenever some execution
+  path acquires ``B`` (directly or via any transitively called
+  function) while ``A`` is held.  A cycle — including the degenerate
+  ``A -> A`` re-acquisition of a non-reentrant lock — is a potential
+  deadlock and a gating finding (``LOCK001``).
+* the **await/blocking graph**: which wall-clock blocking primitives
+  (``time.sleep``, ``os.fsync``, ``subprocess``, thread ``join``) each
+  function can reach.  Reaching one while a latch or asyncio primitive
+  is held stalls every other holder (and the whole event loop for
+  asyncio) and is a gating finding (``LOCK002``).
+
+Call edges are resolved by simple-name matching (any project function
+with that name), which over-approximates: safe for a deadlock detector
+— it may warn about an impossible pairing, never miss a real one within
+the names it sees.  Simulation-time waits (``env.timeout``) are *not*
+blocking: holding the directory latch for ``sync_time`` is the modelled
+cost of the critical section, not a hazard.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from .findings import Finding, Severity
+from .lint import iter_python_files
+
+__all__ = ["analyze_lock_order", "LockInfo"]
+
+#: Dotted call names that block the calling OS thread.
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "os.fsync",
+        "os.system",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "socket.create_connection",
+    }
+)
+#: Method names that block when called on a thread/process/queue object.
+_BLOCKING_METHODS = frozenset({"fsync"})
+
+#: Receiver names that are slot/permit protocols, not mutual exclusion —
+#: their acquire/release pairing is checked elsewhere (the breaker's
+#: probe-slot protocol has its own spec in repro.analysis.protocol).
+_NON_LOCK_RECEIVERS = frozenset({"breaker", "self"})
+
+#: Method names shared with builtin containers/files.  ``results.append``
+#: must not resolve to ``JoinJournal.append``; for these, a call edge is
+#: only drawn when the receiver name hints at the target class (e.g.
+#: ``self.journal.append`` -> ``JoinJournal.append``).
+_COLLISION_NAMES = frozenset(
+    {
+        "append", "add", "get", "put", "pop", "popleft", "extend",
+        "update", "remove", "discard", "clear", "close", "write", "read",
+        "open", "copy", "join", "split", "items", "keys", "values",
+        "setdefault", "sort", "insert", "count", "index", "send",
+        "cancel", "result", "wait", "set", "start", "stop", "flush",
+        "run", "submit", "next", "replace", "strip", "format", "encode",
+        "decode",
+    }
+)
+
+
+def _hint_matches(hint: Optional[str], qualname: str) -> bool:
+    """Does the receiver name plausibly refer to *qualname*'s class?"""
+    if not hint:
+        return False
+    return hint.lower().rstrip("s") in qualname.lower()
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    cursor = node
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if isinstance(cursor, ast.Name):
+        parts.append(cursor.id)
+        return ".".join(reversed(parts))
+    if isinstance(cursor, ast.Subscript):
+        inner = _dotted(cursor.value)
+        if inner is not None:
+            parts.append(inner)
+            return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class _Site:
+    """One interesting call site inside a function."""
+
+    line: int
+    held: tuple[str, ...]
+    #: Last receiver component (``self.journal.append`` -> ``journal``),
+    #: used to resolve collision-prone method names.
+    hint: Optional[str] = None
+
+
+@dataclass
+class LockInfo:
+    """Per-function facts gathered by the intra-procedural walk."""
+
+    qualname: str
+    path: str
+    line: int
+    #: lock -> first acquire line in this function
+    acquires: dict[str, int] = field(default_factory=dict)
+    #: lock -> acquire line, for acquires made while other locks are held
+    ordered_acquires: list[tuple[str, str, int]] = field(default_factory=list)
+    #: callee simple name -> sites
+    calls: dict[str, list[_Site]] = field(default_factory=dict)
+    #: blocking primitive name -> sites
+    blocking: dict[str, list[_Site]] = field(default_factory=dict)
+    #: callee simple names awaited by this function
+    awaited: set[str] = field(default_factory=set)
+
+
+class _FunctionWalker:
+    """Linear walk of one function body tracking the held-lock set.
+
+    Source order approximates execution order, which is exact for the
+    ``acquire(); try: ... finally: release()`` idiom this repo uses
+    everywhere (PAIR002 enforces it).
+    """
+
+    def __init__(self, info: LockInfo, lock_name: "_LockNamer"):
+        self.info = info
+        self.held: list[str] = []
+        self.lock_name = lock_name
+
+    def walk(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._statement(stmt)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested functions are analyzed as their own entries
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                self._call(node, inside_await=False)
+            elif isinstance(node, ast.Await) and isinstance(
+                node.value, ast.Call
+            ):
+                callee = self._callee_name(node.value)
+                if callee is not None:
+                    self.info.awaited.add(callee)
+
+    def _callee_name(self, call: ast.Call) -> Optional[str]:
+        if isinstance(call.func, ast.Attribute):
+            return call.func.attr
+        if isinstance(call.func, ast.Name):
+            return call.func.id
+        return None
+
+    def _call(self, call: ast.Call, inside_await: bool) -> None:
+        func = call.func
+        line = getattr(call, "lineno", self.info.line)
+        dotted = _dotted(func) or ""
+        simple = self._callee_name(call)
+        # -- lock protocol ----------------------------------------------------
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "acquire",
+            "release",
+        ):
+            lock = self.lock_name.name_for(func.value)
+            if lock is not None:
+                if func.attr == "acquire":
+                    for holder in self.held:
+                        self.info.ordered_acquires.append(
+                            (holder, lock, line)
+                        )
+                    self.info.acquires.setdefault(lock, line)
+                    self.held.append(lock)
+                elif lock in self.held:
+                    self.held.remove(lock)
+                return
+        # -- blocking primitives ----------------------------------------------
+        if dotted in _BLOCKING_CALLS or (
+            isinstance(func, ast.Attribute)
+            and func.attr in _BLOCKING_METHODS
+        ):
+            self.info.blocking.setdefault(dotted or func.attr, []).append(
+                _Site(line, tuple(self.held))
+            )
+            return
+        # -- ordinary call-graph edge -----------------------------------------
+        if simple is not None:
+            hint = None
+            if isinstance(func, ast.Attribute):
+                receiver = _dotted(func.value)
+                if receiver is not None:
+                    hint = receiver.split(".")[-1]
+            self.info.calls.setdefault(simple, []).append(
+                _Site(line, tuple(self.held), hint)
+            )
+
+
+class _LockNamer:
+    """Stable lock identities: ``ClassName.attr`` for ``self`` attributes,
+    the bare name for locals/parameters; subscripted pools collapse to
+    their base (``self._sems[cls]`` -> ``Cls._sems``)."""
+
+    def __init__(self, class_name: Optional[str]):
+        self.class_name = class_name
+
+    def name_for(self, receiver: ast.AST) -> Optional[str]:
+        dotted = _dotted(receiver)
+        if dotted is None:
+            return None
+        root = dotted.split(".", 1)[0]
+        if dotted in _NON_LOCK_RECEIVERS or root in _NON_LOCK_RECEIVERS - {
+            "self"
+        }:
+            return None
+        if root == "self":
+            rest = dotted.split(".", 1)
+            if len(rest) == 1:
+                return None  # ``self.acquire()`` — the lock's own method
+            prefix = self.class_name or "self"
+            return f"{prefix}.{rest[1]}"
+        return dotted
+
+
+def _collect(files: Sequence[Path]) -> list[LockInfo]:
+    infos: list[LockInfo] = []
+    for path in files:
+        try:
+            tree = ast.parse(
+                path.read_text(encoding="utf-8"), filename=str(path)
+            )
+        except SyntaxError:
+            continue
+        rel = _rel(path)
+
+        def visit(
+            node: ast.AST, class_name: Optional[str], prefix: str
+        ) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    visit(child, child.name, f"{prefix}{child.name}.")
+                elif isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    info = LockInfo(
+                        qualname=f"{prefix}{child.name}",
+                        path=rel,
+                        line=child.lineno,
+                    )
+                    walker = _FunctionWalker(info, _LockNamer(class_name))
+                    walker.walk(child.body)
+                    infos.append(info)
+                    visit(child, class_name, f"{prefix}{child.name}.")
+        visit(tree, None, "")
+    return infos
+
+
+def _rel(path: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def _resolve(
+    by_name: dict[str, list[LockInfo]],
+    callee: str,
+    sites: Sequence[_Site],
+) -> list[LockInfo]:
+    """Project functions a call to *callee* may reach.
+
+    Names shared with builtin containers resolve only when some site's
+    receiver hints at the target class, so ``results.append(...)`` never
+    aliases ``JoinJournal.append``.
+    """
+    targets = by_name.get(callee, ())
+    if callee not in _COLLISION_NAMES:
+        return list(targets)
+    return [
+        t
+        for t in targets
+        if any(_hint_matches(s.hint, t.qualname) for s in sites)
+    ]
+
+
+def _fixpoint(infos: list[LockInfo]):
+    """Transitive acquires and blocking reach per simple function name."""
+    by_name: dict[str, list[LockInfo]] = {}
+    for info in infos:
+        by_name.setdefault(info.qualname.rsplit(".", 1)[-1], []).append(info)
+
+    trans_acquires: dict[int, set[str]] = {
+        id(i): set(i.acquires) for i in infos
+    }
+    trans_blocking: dict[int, set[str]] = {
+        id(i): set(i.blocking) for i in infos
+    }
+    changed = True
+    rounds = 0
+    while changed and rounds < 50:
+        changed = False
+        rounds += 1
+        for info in infos:
+            acq = trans_acquires[id(info)]
+            blk = trans_blocking[id(info)]
+            for callee, sites in info.calls.items():
+                for target in _resolve(by_name, callee, sites):
+                    if not trans_acquires[id(target)] <= acq:
+                        acq |= trans_acquires[id(target)]
+                        changed = True
+                    if not trans_blocking[id(target)] <= blk:
+                        blk |= trans_blocking[id(target)]
+                        changed = True
+    return by_name, trans_acquires, trans_blocking
+
+
+def analyze_lock_order(
+    paths: Iterable[Union[str, Path]],
+) -> tuple[list[Finding], dict]:
+    """Run the interprocedural pass; returns ``(findings, stats)``."""
+    files = iter_python_files(paths)
+    infos = _collect(files)
+    by_name, trans_acquires, trans_blocking = _fixpoint(infos)
+
+    # -- lock-order edges ------------------------------------------------------
+    # edge (held -> acquired) -> one representative (info, line, via)
+    edges: dict[tuple[str, str], tuple[LockInfo, int, str]] = {}
+    for info in infos:
+        for held, acquired, line in info.ordered_acquires:
+            edges.setdefault((held, acquired), (info, line, "direct acquire"))
+        for callee, sites in info.calls.items():
+            targets = _resolve(by_name, callee, sites)
+            if not targets:
+                continue
+            reach: set[str] = set()
+            for target in targets:
+                reach |= trans_acquires[id(target)]
+            for site in sites:
+                for held in site.held:
+                    for acquired in reach:
+                        edges.setdefault(
+                            (held, acquired),
+                            (info, site.line, f"call to {callee}()"),
+                        )
+
+    findings: list[Finding] = []
+    for a, b in sorted(_cyclic_edges(edges)):
+        info, line, via = edges[(a, b)]
+        detail = (
+            f"re-acquisition of non-reentrant lock {a!r}"
+            if a == b
+            else f"lock-order cycle: {a!r} held while acquiring {b!r} "
+            f"(and elsewhere the reverse)"
+        )
+        findings.append(
+            Finding(
+                tool="lockorder",
+                rule="LOCK001",
+                severity=Severity.ERROR,
+                path=info.path,
+                line=line,
+                message=(
+                    f"{detail} in {info.qualname} (via {via}) — "
+                    "potential deadlock"
+                ),
+            )
+        )
+
+    # -- blocking while holding ------------------------------------------------
+    for info in infos:
+        for primitive, sites in info.blocking.items():
+            for site in sites:
+                if site.held:
+                    findings.append(
+                        _blocking_finding(
+                            info, site.line, primitive, site.held, "directly"
+                        )
+                    )
+        for callee, sites in info.calls.items():
+            targets = _resolve(by_name, callee, sites)
+            blocked: set[str] = set()
+            for target in targets:
+                blocked |= trans_blocking[id(target)]
+            if not blocked:
+                continue
+            for site in sites:
+                if site.held:
+                    findings.append(
+                        _blocking_finding(
+                            info,
+                            site.line,
+                            "/".join(sorted(blocked)),
+                            site.held,
+                            f"via {callee}()",
+                        )
+                    )
+
+    stats = {
+        "files": len(files),
+        "functions": len(infos),
+        "locks": len({lock for i in infos for lock in i.acquires}),
+        "order_edges": len(edges),
+        "await_edges": sum(len(i.awaited) for i in infos),
+        "findings": len(findings),
+    }
+    return findings, stats
+
+
+def _blocking_finding(
+    info: LockInfo, line: int, primitive: str, held: tuple[str, ...], how: str
+) -> Finding:
+    return Finding(
+        tool="lockorder",
+        rule="LOCK002",
+        severity=Severity.ERROR,
+        path=info.path,
+        line=line,
+        message=(
+            f"{info.qualname} blocks on {primitive} ({how}) while "
+            f"holding {', '.join(repr(h) for h in held)} — stalls every "
+            "other holder"
+        ),
+    )
+
+
+def _cyclic_edges(
+    edges: dict[tuple[str, str], tuple]
+) -> set[tuple[str, str]]:
+    """Edges participating in at least one cycle (incl. self-loops)."""
+    graph: dict[str, set[str]] = {}
+    for a, b in edges:
+        graph.setdefault(a, set()).add(b)
+        graph.setdefault(b, set())
+
+    # Tarjan SCC, iterative.
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    scc_of: dict[str, int] = {}
+    counter = [0]
+    scc_id = [0]
+
+    for start in graph:
+        if start in index:
+            continue
+        work = [(start, iter(sorted(graph[start])))]
+        index[start] = low[start] = counter[0]
+        counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph[succ]))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc_of[member] = scc_id[0]
+                    if member == node:
+                        break
+                scc_id[0] += 1
+
+    cyclic: set[tuple[str, str]] = set()
+    for a, b in edges:
+        if a == b:
+            cyclic.add((a, b))
+        elif a in scc_of and scc_of[a] == scc_of.get(b):
+            # Distinct nodes sharing an SCC: a path b -> a exists too.
+            cyclic.add((a, b))
+    return cyclic

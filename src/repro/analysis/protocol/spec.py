@@ -1,0 +1,252 @@
+"""Declarative protocol specifications.
+
+A :class:`ProtocolSpec` is one automaton written down once and consumed
+twice: the bounded model checker (:mod:`.model`) explores interleavings
+of K abstract actors over it, and the conformance monitor
+(:mod:`.conformance`) replays recorded trace events against it.  To keep
+one artifact honest for both uses, every guard and effect has the single
+signature ``(vars, actor, data)``:
+
+* ``vars`` — the mutable shared-variable dict (model: the explored
+  state; conformance: the per-instance dict);
+* ``actor`` — the firing actor (model: an abstract actor index in
+  ``range(spec.actors)``; conformance: the event's ``proc``);
+* ``data`` — the trace event payload (model: always ``{}``, so guards
+  written as ``data.get(key, fallback)`` degrade gracefully).
+
+Model-only concerns are kept out of the semantic guard: ``bound`` caps
+state-space growth (e.g. "at most 3 grants") and is never evaluated at
+runtime, and ``model=False`` marks runtime-only transitions (duplicate
+drops, late echoes) the checker should not explore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from ...trace.events import EventKind, TraceEvent
+
+__all__ = [
+    "Transition",
+    "SafetyProperty",
+    "EventBinding",
+    "CounterBinding",
+    "EndInvariant",
+    "ProtocolSpec",
+    "Mutation",
+]
+
+#: ``(vars, actor, data) -> bool`` — enabling condition of a transition.
+Guard = Callable[[dict, int, Mapping[str, Any]], bool]
+#: ``(vars, actor, data) -> None`` — state update; mutates ``vars`` in place.
+Effect = Callable[[dict, int, Mapping[str, Any]], None]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One guarded edge of the automaton.
+
+    ``source``/``target`` are shared protocol states; ``source`` may be a
+    tuple (edge enabled from several states) or ``None`` (any state), and
+    ``target=None`` leaves the shared state unchanged.  ``actor_source``/
+    ``actor_target`` do the same for the firing actor's local state
+    (``None`` = any / unchanged) — actor-local state is what lets the
+    model express "the caller that was cancelled is the only one who can
+    release the slot".
+    """
+
+    name: str
+    source: Optional[str | tuple[str, ...]]
+    target: Optional[str]
+    actor_source: Optional[str] = None
+    actor_target: Optional[str] = None
+    guard: Optional[Guard] = None
+    #: Model-only state-space cap (never evaluated during conformance).
+    bound: Optional[Guard] = None
+    effect: Optional[Effect] = None
+    #: Explored by the model checker; ``False`` = conformance-only edge.
+    model: bool = True
+
+    def sources(self) -> Optional[tuple[str, ...]]:
+        if self.source is None:
+            return None
+        if isinstance(self.source, tuple):
+            return self.source
+        return (self.source,)
+
+    def matches_source(self, shared: str) -> bool:
+        sources = self.sources()
+        return sources is None or shared in sources
+
+
+@dataclass(frozen=True)
+class SafetyProperty:
+    """A predicate over reachable states.
+
+    ``on="always"`` is checked at every reachable state; ``on="deadlock"``
+    only at quiescent states (no model transition enabled) — the shape of
+    liveness-flavoured properties like "the protocol never wedges in
+    HALF_OPEN" in a bounded, untimed model.
+    """
+
+    name: str
+    description: str
+    predicate: Callable[[str, Mapping[str, int], tuple[str, ...]], bool]
+    on: str = "always"  # "always" | "deadlock"
+
+    def __post_init__(self) -> None:
+        if self.on not in ("always", "deadlock"):
+            raise ValueError(f"unknown property mode {self.on!r}")
+
+
+@dataclass(frozen=True)
+class EventBinding:
+    """Maps one trace event kind onto candidate transitions.
+
+    At replay, the first listed transition whose source matches the
+    instance's current state and whose guard passes is fired; no match is
+    a conformance violation.  ``when`` filters which events the binding
+    applies to at all (e.g. only primary leases, ``split == 0``).
+    """
+
+    kind: EventKind
+    transitions: tuple[str, ...]
+    when: Optional[Callable[[Mapping[str, Any]], bool]] = None
+
+    def applies(self, data: Mapping[str, Any]) -> bool:
+        return self.when is None or bool(self.when(data))
+
+
+@dataclass(frozen=True)
+class CounterBinding:
+    """A global (cross-instance) ledger counter fed by one event kind."""
+
+    counter: str
+    kind: EventKind
+    when: Optional[Callable[[Mapping[str, Any]], bool]] = None
+    #: Increment amount from the payload (default 1 per event).
+    amount: Optional[Callable[[Mapping[str, Any]], int]] = None
+
+    def applies(self, data: Mapping[str, Any]) -> bool:
+        return self.when is None or bool(self.when(data))
+
+    def delta(self, data: Mapping[str, Any]) -> int:
+        return 1 if self.amount is None else int(self.amount(data))
+
+
+@dataclass(frozen=True)
+class EndInvariant:
+    """End-of-stream equation over the global counters."""
+
+    name: str
+    description: str
+    predicate: Callable[[Mapping[str, int]], bool]
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """One protocol: automaton + properties + trace-event bindings."""
+
+    name: str
+    description: str
+    states: tuple[str, ...]
+    initial: str
+    transitions: tuple[Transition, ...]
+    properties: tuple[SafetyProperty, ...] = ()
+    #: Initial shared variables (ints only — they are fingerprinted).
+    vars: Mapping[str, int] = field(default_factory=dict)
+    #: Number of concurrent abstract actors the model checker interleaves.
+    actors: int = 2
+    actor_states: tuple[str, ...] = ("idle",)
+    actor_initial: str = "idle"
+    # -- conformance ----------------------------------------------------------
+    #: Instance key extracted from a bound event (``None`` = skip event).
+    key: Optional[Callable[[TraceEvent], Any]] = None
+    bindings: tuple[EventBinding, ...] = ()
+    counters: tuple[CounterBinding, ...] = ()
+    end_invariants: tuple[EndInvariant, ...] = ()
+    #: States an instance may lawfully end the stream in (``None`` = any).
+    terminal_states: Optional[frozenset[str]] = None
+    #: ``False`` — the per-instance automaton is not replayed (only
+    #: counters/end-invariants run) because the protocol state is not
+    #: observable per-event; see the journal spec for the rationale.
+    monitor_states: bool = True
+
+    def __post_init__(self) -> None:
+        names = [t.name for t in self.transitions]
+        if len(names) != len(set(names)):
+            raise ValueError(f"{self.name}: duplicate transition names")
+        if self.initial not in self.states:
+            raise ValueError(f"{self.name}: initial state not in states")
+        if self.actor_initial not in self.actor_states:
+            raise ValueError(f"{self.name}: actor_initial not in actor_states")
+        valid = set(self.states)
+        for t in self.transitions:
+            for s in t.sources() or ():
+                if s not in valid:
+                    raise ValueError(f"{self.name}.{t.name}: bad source {s!r}")
+            if t.target is not None and t.target not in valid:
+                raise ValueError(f"{self.name}.{t.name}: bad target {t.target!r}")
+            for s in (t.actor_source, t.actor_target):
+                if s is not None and s not in self.actor_states:
+                    raise ValueError(
+                        f"{self.name}.{t.name}: bad actor state {s!r}"
+                    )
+        by_name = self.transitions_by_name()
+        for binding in self.bindings:
+            for tname in binding.transitions:
+                if tname not in by_name:
+                    raise ValueError(
+                        f"{self.name}: binding for {binding.kind.value} "
+                        f"names unknown transition {tname!r}"
+                    )
+        if self.terminal_states is not None:
+            bad = self.terminal_states - valid
+            if bad:
+                raise ValueError(f"{self.name}: bad terminal states {bad}")
+
+    def transitions_by_name(self) -> dict[str, Transition]:
+        return {t.name: t for t in self.transitions}
+
+    def replace_transitions(
+        self, *, drop: Sequence[str] = (), add: Sequence[Transition] = ()
+    ) -> "ProtocolSpec":
+        """A copy with *drop* transitions removed and *add* appended —
+        the mutation-builder primitive."""
+        dropped = set(drop)
+        known = {t.name for t in self.transitions}
+        missing = dropped - known
+        if missing:
+            raise ValueError(f"{self.name}: cannot drop unknown {missing}")
+        kept = tuple(t for t in self.transitions if t.name not in dropped)
+        remaining = {t.name for t in kept} | {t.name for t in add}
+        bindings = tuple(
+            replace(
+                b,
+                transitions=tuple(
+                    n for n in b.transitions if n in remaining
+                ),
+            )
+            for b in self.bindings
+        )
+        bindings = tuple(b for b in bindings if b.transitions)
+        return replace(
+            self, transitions=kept + tuple(add), bindings=bindings
+        )
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """A deliberately broken variant of a registered spec.
+
+    The model checker must find a counterexample violating
+    ``expect_property`` on ``apply(spec)`` — if it cannot, the checker
+    (not the spec) is what's broken, and the gate fails.
+    """
+
+    name: str
+    description: str
+    spec_name: str
+    expect_property: str
+    apply: Callable[[ProtocolSpec], ProtocolSpec]

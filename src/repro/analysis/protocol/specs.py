@@ -1,0 +1,755 @@
+"""The shipped protocol specs and their planted mutations.
+
+Five protocols, each an explicit automaton with safety properties and
+trace-event bindings:
+
+* ``circuit-breaker`` — CLOSED/OPEN/HALF_OPEN with bounded probe slots
+  (:class:`repro.service.resilience.CircuitBreaker`);
+* ``lease`` — per-task grant -> heartbeat -> {complete, expire ->
+  requeue} (:class:`repro.recovery.lease.LeaseTable` + result ledger);
+* ``journal`` — CRC-framed append/heal/scan/replay
+  (:class:`repro.recovery.journal.JoinJournal`);
+* ``shard-settlement`` — per ``(request, shard)`` settle-exactly-once
+  with replica failover (:class:`repro.shard.router.ShardRouter`);
+* ``buffer-directory`` — per-page register/deregister/remote-fetch
+  ownership (:class:`repro.buffer.global_buffer.GlobalDirectory`).
+
+Each mutation in :data:`MUTATIONS` plants one realistic implementation
+bug into a spec (drop the release edge, allow a double grant, fail a
+sub-request that was never sent...).  The model checker must produce a
+counterexample for every one of them — that is the evidence the checker
+is strong enough for the unmutated proofs to mean something.
+"""
+
+from __future__ import annotations
+
+from ...trace.events import EventKind
+from .spec import (
+    CounterBinding,
+    EndInvariant,
+    EventBinding,
+    Mutation,
+    ProtocolSpec,
+    SafetyProperty,
+    Transition,
+)
+
+__all__ = ["SPECS", "MUTATIONS", "get_spec"]
+
+
+def _inc(counter: str, amount: int = 1):
+    def effect(vars, actor, data):
+        vars[counter] = vars.get(counter, 0) + amount
+
+    return effect
+
+
+def _primary(data) -> bool:
+    return int(data.get("split", 0)) == 0
+
+
+# ---------------------------------------------------------------------------
+# circuit-breaker: closed -> open -> half_open -> {open, closed}
+# ---------------------------------------------------------------------------
+# Actor-local state models the callers: a half-open admission moves the
+# caller to "probing"; a cancelled caller ("cancelled") holds a probe slot
+# it can only give back via release().  The wedge property is exactly the
+# hazard the release() path exists to prevent: with the release edge
+# dropped, K cancelled callers exhaust the slots and HALF_OPEN quiesces
+# with no way out.
+_HALF_OPEN_MAX = 2
+
+_BREAKER = ProtocolSpec(
+    name="circuit-breaker",
+    description=(
+        "Per-request-class circuit breaker: consecutive failures trip "
+        "CLOSED->OPEN, a reset timeout half-opens, bounded probe slots "
+        "settle HALF_OPEN->{CLOSED,OPEN}; cancelled probes must release "
+        "their slot"
+    ),
+    states=("closed", "open", "half_open"),
+    initial="closed",
+    vars={"probes": 0},
+    actors=3,
+    actor_states=("idle", "probing", "cancelled"),
+    transitions=(
+        # The failure-threshold counter is abstracted: from CLOSED the
+        # breaker may trip at any point (threshold reached).
+        Transition("trip", "closed", "open"),
+        Transition(
+            "reopen",
+            "open",
+            "half_open",
+            effect=lambda v, a, d: v.__setitem__("probes", 0),
+        ),
+        Transition(
+            "probe_admit",
+            "half_open",
+            "half_open",
+            actor_source="idle",
+            actor_target="probing",
+            guard=lambda v, a, d: v["probes"] < _HALF_OPEN_MAX,
+            effect=_inc("probes"),
+        ),
+        Transition(
+            "probe_ok",
+            "half_open",
+            "closed",
+            actor_source="probing",
+            actor_target="idle",
+            effect=lambda v, a, d: v.__setitem__(
+                "probes", max(0, v["probes"] - 1)
+            ),
+        ),
+        Transition(
+            "probe_fail",
+            "half_open",
+            "open",
+            actor_source="probing",
+            actor_target="idle",
+            effect=lambda v, a, d: v.__setitem__(
+                "probes", max(0, v["probes"] - 1)
+            ),
+        ),
+        # The awaiting attempt is torn down before any outcome: the
+        # caller keeps the slot until it releases it.
+        Transition(
+            "probe_cancel",
+            None,
+            None,
+            actor_source="probing",
+            actor_target="cancelled",
+        ),
+        Transition(
+            "probe_release",
+            "half_open",
+            "half_open",
+            actor_source="cancelled",
+            actor_target="idle",
+            effect=lambda v, a, d: v.__setitem__(
+                "probes", max(0, v["probes"] - 1)
+            ),
+        ),
+        # A probe whose breaker already left HALF_OPEN (another probe
+        # settled first) records its outcome without touching slots.
+        Transition(
+            "late_outcome",
+            ("closed", "open"),
+            None,
+            actor_source="probing",
+            actor_target="idle",
+        ),
+        Transition(
+            "late_release",
+            ("closed", "open"),
+            None,
+            actor_source="cancelled",
+            actor_target="idle",
+        ),
+    ),
+    properties=(
+        SafetyProperty(
+            "no_wedged_half_open",
+            "the breaker never quiesces in HALF_OPEN: some probe can "
+            "always be admitted, settled, or released",
+            lambda shared, vars, actors: shared != "half_open",
+            on="deadlock",
+        ),
+        SafetyProperty(
+            "probe_slots_bounded",
+            f"in-flight half-open probes stay within 0..{_HALF_OPEN_MAX}",
+            lambda shared, vars, actors: 0
+            <= vars["probes"]
+            <= _HALF_OPEN_MAX,
+        ),
+    ),
+    key=lambda event: event.data.get("cls", "?"),
+    bindings=(
+        # The observable trace carries only the state transitions; the
+        # candidate lists reproduce the lawful edge set (trip from
+        # CLOSED or a failed probe from HALF_OPEN both announce OPEN).
+        EventBinding(EventKind.SUP_BREAKER_OPEN, ("trip", "probe_fail")),
+        EventBinding(EventKind.SUP_BREAKER_HALF_OPEN, ("reopen",)),
+        EventBinding(EventKind.SUP_BREAKER_CLOSED, ("probe_ok",)),
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# lease: queued -> leased -> {done, orphaned -> queued}; journal replay
+# ---------------------------------------------------------------------------
+_LEASE = ProtocolSpec(
+    name="lease",
+    description=(
+        "Per-task lease lifecycle: grant -> heartbeat -> {complete, "
+        "expire -> requeue}, with journal replay standing in for a "
+        "committed prior run; grants reconcile with completions + "
+        "expirations"
+    ),
+    states=("queued", "leased", "orphaned", "done", "replayed"),
+    initial="queued",
+    vars={"grants": 0, "completions": 0, "expirations": 0, "requeues": 0},
+    actors=2,
+    transitions=(
+        Transition(
+            "grant",
+            "queued",
+            "leased",
+            bound=lambda v, a, d: v["grants"] < 3,
+            effect=_inc("grants"),
+        ),
+        Transition("complete", "leased", "done", effect=_inc("completions")),
+        Transition("expire", "leased", "orphaned", effect=_inc("expirations")),
+        Transition("requeue", "orphaned", "queued", effect=_inc("requeues")),
+        # Journal replay commits the task without a live execution; it
+        # only happens at resume, before any grant of this run.
+        Transition(
+            "replay",
+            "queued",
+            "replayed",
+            guard=lambda v, a, d: v["grants"] == 0,
+        ),
+        # Late duplicates of an already-committed task are dropped by
+        # the exactly-once ledger: lawful echoes, not explored edges.
+        Transition("dup_done", "done", "done", model=False),
+        Transition("dup_replayed", "replayed", "replayed", model=False),
+    ),
+    properties=(
+        SafetyProperty(
+            "at_most_one_completion",
+            "a task commits at most one primary completion",
+            lambda shared, vars, actors: vars["completions"] <= 1,
+        ),
+        SafetyProperty(
+            "ledger_balance",
+            "at quiescence every grant was settled: grants = "
+            "completions + expirations",
+            lambda shared, vars, actors: vars["grants"]
+            == vars["completions"] + vars["expirations"],
+            on="deadlock",
+        ),
+        SafetyProperty(
+            "orphan_requeued",
+            "an expired task never wedges: every expiry is followed by "
+            "a requeue",
+            lambda shared, vars, actors: shared != "orphaned",
+            on="deadlock",
+        ),
+    ),
+    key=lambda event: event.data.get("task"),
+    bindings=(
+        EventBinding(EventKind.LSE_GRANTED, ("grant",), when=_primary),
+        EventBinding(EventKind.LSE_COMPLETED, ("complete",), when=_primary),
+        EventBinding(EventKind.LSE_EXPIRED, ("expire",), when=_primary),
+        EventBinding(EventKind.LSE_REQUEUED, ("requeue",)),
+        EventBinding(EventKind.JNL_REPLAYED, ("replay",)),
+        EventBinding(
+            EventKind.LSE_DUP_DROPPED, ("dup_done", "dup_replayed")
+        ),
+    ),
+    counters=(
+        CounterBinding("grants", EventKind.LSE_GRANTED, when=_primary),
+        CounterBinding("completions", EventKind.LSE_COMPLETED, when=_primary),
+        CounterBinding("expirations", EventKind.LSE_EXPIRED, when=_primary),
+        CounterBinding("requeues", EventKind.LSE_REQUEUED),
+    ),
+    end_invariants=(
+        EndInvariant(
+            "grants_settled",
+            "primary grants = completions + expirations",
+            lambda c: c["grants"] == c["completions"] + c["expirations"],
+        ),
+        EndInvariant(
+            "expiry_requeues",
+            "every primary expiry requeued its task",
+            lambda c: c["expirations"] == c["requeues"],
+        ),
+    ),
+    terminal_states=frozenset({"queued", "done", "replayed"}),
+)
+
+
+# ---------------------------------------------------------------------------
+# journal: CRC-framed append / torn tail / heal / scan / replay
+# ---------------------------------------------------------------------------
+_JOURNAL = ProtocolSpec(
+    name="journal",
+    description=(
+        "Durable join journal: CRC-framed appends; a torn tail is "
+        "healed (newline first) before the next record so no committed "
+        "record is ever corrupted; scans detect exactly the torn lines; "
+        "replay returns every committed record"
+    ),
+    states=("clean", "torn"),
+    initial="clean",
+    vars={"committed": 0, "torn_lines": 0, "lost": 0, "replayed": 0,
+          "detected": 0},
+    actors=1,
+    transitions=(
+        Transition(
+            "append_ok",
+            "clean",
+            "clean",
+            bound=lambda v, a, d: v["committed"] < 3,
+            effect=_inc("committed"),
+        ),
+        # A crash or injected tear truncates the record mid-line: it is
+        # not committed, and the tail is left without a newline.
+        Transition(
+            "append_torn",
+            "clean",
+            "torn",
+            bound=lambda v, a, d: v["torn_lines"] < 2,
+            effect=_inc("torn_lines"),
+        ),
+        # The writer notices the missing trailing newline and writes the
+        # healing newline before its record: the torn garbage stays its
+        # own (unparseable) line and the new record commits intact.
+        Transition(
+            "heal_append",
+            "torn",
+            "clean",
+            bound=lambda v, a, d: v["committed"] < 3,
+            effect=_inc("committed"),
+        ),
+        # A scan parses every line: it reports exactly the torn ones.
+        Transition(
+            "scan",
+            None,
+            None,
+            effect=lambda v, a, d: v.__setitem__(
+                "detected", v["torn_lines"]
+            ),
+        ),
+        Transition(
+            "replay",
+            None,
+            None,
+            effect=lambda v, a, d: v.__setitem__("replayed", v["committed"]),
+        ),
+    ),
+    properties=(
+        SafetyProperty(
+            "no_lost_commit",
+            "appending over a torn tail never corrupts a committed "
+            "record",
+            lambda shared, vars, actors: vars["lost"] == 0,
+        ),
+        SafetyProperty(
+            "replay_bounded",
+            "replay returns only committed records",
+            lambda shared, vars, actors: vars["replayed"] <= vars["committed"],
+        ),
+        SafetyProperty(
+            "torn_accounted",
+            "a scan never reports more torn lines than were torn",
+            lambda shared, vars, actors: vars["detected"] <= vars["torn_lines"],
+        ),
+    ),
+    # The tail state is not observable per-event: healed torn lines stay
+    # in the file (every later scan re-detects them) and an in-run torn
+    # append emits no JNL_TORN_DETECTED, so per-event state replay would
+    # flag lawful traces.  Conformance checks the scan/heal ledger only.
+    monitor_states=False,
+    key=lambda event: "journal",
+    counters=(
+        CounterBinding("appends", EventKind.JNL_APPENDED),
+        CounterBinding(
+            "appends_torn",
+            EventKind.JNL_APPENDED,
+            amount=lambda d: int(d.get("torn", 0)),
+        ),
+        CounterBinding("scans", EventKind.JNL_SCANNED),
+        CounterBinding(
+            "scanned_torn",
+            EventKind.JNL_SCANNED,
+            amount=lambda d: int(d.get("torn", 0)),
+        ),
+        CounterBinding("torn_detected", EventKind.JNL_TORN_DETECTED),
+        CounterBinding("replays", EventKind.JNL_REPLAYED),
+    ),
+    end_invariants=(
+        EndInvariant(
+            "scan_torn_ledger",
+            "scan summaries agree with per-line torn detections",
+            lambda c: c["scans"] == 0 or c["scanned_torn"] == c["torn_detected"],
+        ),
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# shard-settlement: per (request, shard) settle-exactly-once
+# ---------------------------------------------------------------------------
+_SETTLEMENT = ProtocolSpec(
+    name="shard-settlement",
+    description=(
+        "Sharded sub-request settlement: every SENT settles as exactly "
+        "one of DONE / FAILOVER / FAILED; a FAILOVER is always followed "
+        "by another SENT; at most one DONE per (request, shard)"
+    ),
+    states=("idle", "inflight", "retry_pending", "done", "failed"),
+    initial="idle",
+    vars={"sent": 0, "completed": 0, "failovers": 0, "failures": 0},
+    actors=1,
+    transitions=(
+        Transition("send", "idle", "inflight", effect=_inc("sent")),
+        Transition(
+            "resend",
+            "retry_pending",
+            "inflight",
+            bound=lambda v, a, d: v["sent"] < 4,
+            effect=_inc("sent"),
+        ),
+        Transition(
+            "settle_done", "inflight", "done", effect=_inc("completed")
+        ),
+        Transition(
+            "failover",
+            "inflight",
+            "retry_pending",
+            bound=lambda v, a, d: v["failovers"] < 3,
+            effect=_inc("failovers"),
+        ),
+        Transition("give_up", "inflight", "failed", effect=_inc("failures")),
+    ),
+    properties=(
+        SafetyProperty(
+            "at_most_one_done",
+            "a (request, shard) sub-request completes at most once",
+            lambda shared, vars, actors: vars["completed"] <= 1,
+        ),
+        SafetyProperty(
+            "settled_balance",
+            "at quiescence every send was settled: sent = done + "
+            "failovers + failed",
+            lambda shared, vars, actors: vars["sent"]
+            == vars["completed"] + vars["failovers"] + vars["failures"],
+            on="deadlock",
+        ),
+        SafetyProperty(
+            "failover_resent",
+            "a failover never wedges: the next replica's send follows",
+            lambda shared, vars, actors: shared != "retry_pending",
+            on="deadlock",
+        ),
+    ),
+    key=lambda event: (event.data.get("req"), event.data.get("shard")),
+    bindings=(
+        EventBinding(EventKind.SHD_SUBREQUEST_SENT, ("send", "resend")),
+        EventBinding(EventKind.SHD_SUBREQUEST_DONE, ("settle_done",)),
+        EventBinding(EventKind.SHD_FAILOVER, ("failover",)),
+        EventBinding(EventKind.SHD_SUBREQUEST_FAILED, ("give_up",)),
+    ),
+    counters=(
+        CounterBinding("sends", EventKind.SHD_SUBREQUEST_SENT),
+        CounterBinding("dones", EventKind.SHD_SUBREQUEST_DONE),
+        CounterBinding("failovers", EventKind.SHD_FAILOVER),
+        CounterBinding("failures", EventKind.SHD_SUBREQUEST_FAILED),
+    ),
+    end_invariants=(
+        EndInvariant(
+            "fanout_settled",
+            "sends = dones + failovers + failures across the stream",
+            lambda c: c["sends"] == c["dones"] + c["failovers"] + c["failures"],
+        ),
+    ),
+    terminal_states=frozenset({"done", "failed"}),
+)
+
+
+# ---------------------------------------------------------------------------
+# buffer-directory: per-page register / deregister / remote fetch
+# ---------------------------------------------------------------------------
+def _dir_register_guard(v, a, d):
+    return v["owner"] == -1
+
+
+def _dir_reregister_guard(v, a, d):
+    return v["owner"] == a
+
+
+def _dir_deregister_guard(v, a, d):
+    return v["owner"] == a
+
+
+def _dir_fetch_guard(v, a, d):
+    # At runtime the event names the owner it copied from; in the model
+    # (data={}) the .get() falls back to the directory's own owner.
+    return (
+        v["owner"] != -1
+        and v["owner"] != a
+        and int(d.get("owner", v["owner"])) == v["owner"]
+    )
+
+
+def _dir_set_owner(v, a, d):
+    v["owner"] = a
+
+
+_DIRECTORY = ProtocolSpec(
+    name="buffer-directory",
+    description=(
+        "Latched global-buffer directory (paper section 3.2): a page "
+        "has at most one registered owner; only the owner deregisters "
+        "(stale evictions must not drop a newer registration); remote "
+        "fetches copy from the current owner"
+    ),
+    states=("absent", "resident"),
+    initial="absent",
+    vars={"owner": -1, "foreign_registers": 0, "stale_deregisters": 0},
+    actors=3,
+    transitions=(
+        Transition(
+            "load_register",
+            "absent",
+            "resident",
+            guard=_dir_register_guard,
+            effect=_dir_set_owner,
+        ),
+        # The owner reloading its own evicted-then-missed page re-registers.
+        Transition(
+            "reload_register",
+            "resident",
+            "resident",
+            guard=_dir_reregister_guard,
+        ),
+        Transition(
+            "deregister",
+            "resident",
+            "absent",
+            guard=_dir_deregister_guard,
+            effect=lambda v, a, d: v.__setitem__("owner", -1),
+        ),
+        Transition("fetch", "resident", "resident", guard=_dir_fetch_guard),
+    ),
+    properties=(
+        SafetyProperty(
+            "single_owner",
+            "a resident page has exactly one owner; an absent page has "
+            "none",
+            lambda shared, vars, actors: (shared == "resident")
+            == (vars["owner"] != -1),
+        ),
+        SafetyProperty(
+            "no_foreign_register",
+            "no processor overwrites another owner's registration",
+            lambda shared, vars, actors: vars["foreign_registers"] == 0,
+        ),
+        SafetyProperty(
+            "no_stale_deregister",
+            "a stale eviction never drops a newer registration",
+            lambda shared, vars, actors: vars["stale_deregisters"] == 0,
+        ),
+    ),
+    key=lambda event: event.data.get("page"),
+    bindings=(
+        EventBinding(
+            EventKind.PAGE_REGISTERED, ("load_register", "reload_register")
+        ),
+        EventBinding(EventKind.PAGE_DEREGISTERED, ("deregister",)),
+        EventBinding(EventKind.REMOTE_FETCH, ("fetch",)),
+    ),
+)
+
+
+SPECS: tuple[ProtocolSpec, ...] = (
+    _BREAKER,
+    _LEASE,
+    _JOURNAL,
+    _SETTLEMENT,
+    _DIRECTORY,
+)
+
+
+def get_spec(name: str) -> ProtocolSpec:
+    for spec in SPECS:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"no protocol spec named {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Planted mutations: each must yield a counterexample
+# ---------------------------------------------------------------------------
+def _mut_drop_release(spec: ProtocolSpec) -> ProtocolSpec:
+    return spec.replace_transitions(drop=("probe_release", "late_release"))
+
+
+def _mut_unbounded_probes(spec: ProtocolSpec) -> ProtocolSpec:
+    by_name = spec.transitions_by_name()
+    admit = by_name["probe_admit"]
+    return spec.replace_transitions(
+        drop=("probe_admit",),
+        add=(
+            Transition(
+                "probe_admit",
+                admit.source,
+                admit.target,
+                actor_source=admit.actor_source,
+                actor_target=admit.actor_target,
+                guard=None,  # the half_open_max check removed
+                effect=admit.effect,
+            ),
+        ),
+    )
+
+
+def _mut_double_grant(spec: ProtocolSpec) -> ProtocolSpec:
+    return spec.replace_transitions(
+        add=(
+            Transition(
+                "grant_dup",
+                "leased",
+                "leased",
+                bound=lambda v, a, d: v["grants"] < 3,
+                effect=_inc("grants"),
+            ),
+        )
+    )
+
+
+def _mut_drop_requeue(spec: ProtocolSpec) -> ProtocolSpec:
+    return spec.replace_transitions(drop=("requeue",))
+
+
+def _mut_blind_append(spec: ProtocolSpec) -> ProtocolSpec:
+    # The writer no longer checks for a missing trailing newline: its
+    # record lands on the torn line and both become one garbage line.
+    def blind(v, a, d):
+        v["lost"] = v.get("lost", 0) + 1
+
+    return spec.replace_transitions(
+        drop=("heal_append",),
+        add=(Transition("heal_append", "torn", "clean", effect=blind),),
+    )
+
+
+def _mut_fail_unsent(spec: ProtocolSpec) -> ProtocolSpec:
+    return spec.replace_transitions(
+        add=(
+            Transition(
+                "give_up_unsent", "idle", "failed", effect=_inc("failures")
+            ),
+        )
+    )
+
+
+def _mut_fail_after_failover(spec: ProtocolSpec) -> ProtocolSpec:
+    return spec.replace_transitions(
+        add=(
+            Transition(
+                "give_up_pending",
+                "retry_pending",
+                "failed",
+                effect=_inc("failures"),
+            ),
+        )
+    )
+
+
+def _mut_register_overwrite(spec: ProtocolSpec) -> ProtocolSpec:
+    def overwrite(v, a, d):
+        if v["owner"] not in (-1, a):
+            v["foreign_registers"] += 1
+        v["owner"] = a
+
+    return spec.replace_transitions(
+        add=(
+            Transition(
+                "register_any",
+                "resident",
+                "resident",
+                bound=lambda v, a, d: v["foreign_registers"] < 2,
+                effect=overwrite,
+            ),
+        )
+    )
+
+
+def _mut_stale_deregister(spec: ProtocolSpec) -> ProtocolSpec:
+    def stale(v, a, d):
+        if v["owner"] != a:
+            v["stale_deregisters"] += 1
+        v["owner"] = -1
+
+    return spec.replace_transitions(
+        add=(
+            Transition(
+                "deregister_any",
+                "resident",
+                "absent",
+                bound=lambda v, a, d: v["stale_deregisters"] < 2,
+                effect=stale,
+            ),
+        )
+    )
+
+
+MUTATIONS: tuple[Mutation, ...] = (
+    Mutation(
+        "breaker-drop-release",
+        "cancelled probes never release their slot (release() removed)",
+        "circuit-breaker",
+        "no_wedged_half_open",
+        _mut_drop_release,
+    ),
+    Mutation(
+        "breaker-unbounded-probes",
+        "allow() stops checking half_open_max before admitting a probe",
+        "circuit-breaker",
+        "probe_slots_bounded",
+        _mut_unbounded_probes,
+    ),
+    Mutation(
+        "lease-double-grant",
+        "a second lease is granted on an already-leased task",
+        "lease",
+        "ledger_balance",
+        _mut_double_grant,
+    ),
+    Mutation(
+        "lease-drop-requeue",
+        "an expired task's requeue edge is dropped (orphan wedges)",
+        "lease",
+        "orphan_requeued",
+        _mut_drop_requeue,
+    ),
+    Mutation(
+        "journal-blind-append",
+        "appends no longer heal a torn tail before writing",
+        "journal",
+        "no_lost_commit",
+        _mut_blind_append,
+    ),
+    Mutation(
+        "settlement-fail-unsent",
+        "a sub-request settles FAILED without ever being sent",
+        "shard-settlement",
+        "settled_balance",
+        _mut_fail_unsent,
+    ),
+    Mutation(
+        "settlement-fail-after-failover",
+        "a sub-request settles FAILED from retry_pending, breaking the "
+        "failover-then-resend promise",
+        "shard-settlement",
+        "settled_balance",
+        _mut_fail_after_failover,
+    ),
+    Mutation(
+        "directory-register-overwrite",
+        "register stops checking ownership and overwrites another owner",
+        "buffer-directory",
+        "no_foreign_register",
+        _mut_register_overwrite,
+    ),
+    Mutation(
+        "directory-stale-deregister",
+        "deregister stops checking ownership (stale eviction drops a "
+        "newer registration)",
+        "buffer-directory",
+        "no_stale_deregister",
+        _mut_stale_deregister,
+    ),
+)

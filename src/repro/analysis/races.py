@@ -12,7 +12,20 @@ advanced per event.  Directory operations (``PAGE_REGISTERED``,
 latch, so they acquire-and-release a latch clock — the release/acquire
 edges of the protocol.  A ``BUFFER_INSERT`` in global mode joins the
 latch clock too, standing in for the (unlogged) latched load claim that
-precedes every disk read.  Page-copy accesses — ``BUFFER_INSERT`` and
+precedes every disk read.
+
+The directory latch is not the only lock in the system.  Lease-table
+operations (``LSE_*``) run under the recovery tier's table lock, and
+sub-request settlement (``SHD_*``) under the router's settlement lock,
+so both contribute release/acquire edges to their own latch clocks —
+a lease granted to processor A and later expired by the coordinator is
+happens-before the requeue that hands it to processor B, and a
+sub-request's ``SENT`` is happens-before its ``DONE``/``FAILED`` and
+the final ``MERGED``.  Settlement events carry ``proc == -1`` (they are
+emitted by router coroutines, not join processors); the detector gives
+them synthetic negative actor ids — one per shard, plus one for the
+merge coordinator — so the clocks still advance per logical actor
+without colliding with real processor ids.  Page-copy accesses — ``BUFFER_INSERT`` and
 ``BUFFER_EVICT`` as writes, ``BUFFER_HIT(source=lru)`` and
 ``REMOTE_FETCH`` as reads — are then checked FastTrack-style: two
 conflicting accesses that are neither happens-before ordered nor guarded
@@ -52,8 +65,12 @@ from .findings import Finding, Severity
 
 __all__ = ["RaceDetector", "detect_races"]
 
-#: The single latch every directory operation runs under.
+#: The latch every directory operation runs under.
 _DIRECTORY_LATCH = "global-directory"
+#: The recovery tier's lease-table lock.
+_LEASE_LATCH = "lease-table"
+#: The router's sub-request settlement lock.
+_SETTLEMENT_LATCH = "router-settlement"
 
 #: Events emitted inside (or at the release point of) the directory
 #: latch's critical section.
@@ -64,6 +81,33 @@ _LATCH_EVENTS = frozenset(
         EventKind.REMOTE_FETCH,
     }
 )
+
+#: Which latch's critical section each event kind is emitted under.
+_LATCH_OF = {
+    EventKind.PAGE_REGISTERED: _DIRECTORY_LATCH,
+    EventKind.PAGE_DEREGISTERED: _DIRECTORY_LATCH,
+    EventKind.REMOTE_FETCH: _DIRECTORY_LATCH,
+    EventKind.LSE_GRANTED: _LEASE_LATCH,
+    EventKind.LSE_RENEWED: _LEASE_LATCH,
+    EventKind.LSE_EXPIRED: _LEASE_LATCH,
+    EventKind.LSE_COMPLETED: _LEASE_LATCH,
+    EventKind.LSE_REQUEUED: _LEASE_LATCH,
+    EventKind.LSE_DUP_DROPPED: _LEASE_LATCH,
+    EventKind.SHD_REQUEST_ROUTED: _SETTLEMENT_LATCH,
+    EventKind.SHD_SUBREQUEST_SENT: _SETTLEMENT_LATCH,
+    EventKind.SHD_SUBREQUEST_DONE: _SETTLEMENT_LATCH,
+    EventKind.SHD_SUBREQUEST_FAILED: _SETTLEMENT_LATCH,
+    EventKind.SHD_FAILOVER: _SETTLEMENT_LATCH,
+    EventKind.SHD_SHARD_SKIPPED: _SETTLEMENT_LATCH,
+    EventKind.SHD_MERGED: _SETTLEMENT_LATCH,
+}
+
+#: Synthetic actor ids for settlement events (``proc == -1`` in the
+#: trace): the merge/route coordinator, and one actor per shard below
+#: ``_SHARD_ACTOR_BASE``.  Negative so they can never collide with a
+#: real processor id.
+_ROUTER_ACTOR = -2
+_SHARD_ACTOR_BASE = -10
 
 #: Any of these in a trace means the run used the global buffer.
 _DIRECTORY_MARKERS = _LATCH_EVENTS | {EventKind.LOAD_WAIT}
@@ -120,7 +164,7 @@ class RaceDetector:
         self.stats: dict = {}
         # analysis state (built in finish)
         self._clocks: dict[int, dict[int, int]] = {}
-        self._latch_clock: dict[int, int] = {}
+        self._latch_clocks: dict[str, dict[int, int]] = {}
         self._pages: dict[int, _Location] = {}
         self._dir_slots: dict[int, _Location] = {}
         self._owner: dict[int, int] = {}
@@ -138,41 +182,66 @@ class RaceDetector:
     def finish(self) -> list[Finding]:
         global_mode = any(e.kind in _DIRECTORY_MARKERS for e in self.events)
         for event in self.events:
-            if event.proc < 0:
+            actor = self._actor(event)
+            if actor is None:
                 continue
-            self._step(event, global_mode)
+            self._step(event, actor, global_mode)
         self.stats = {
             "events": len(self.events),
             "mode": "global" if global_mode else "local",
             "pages": len(self._pages),
+            "latches": len(self._latch_clocks),
             "races": len(self.findings),
         }
         return self.findings
 
-    def _step(self, event: TraceEvent, global_mode: bool) -> None:
-        proc = event.proc
-        clock = self._clocks.setdefault(proc, {})
-        clock[proc] = clock.get(proc, 0) + 1
+    @staticmethod
+    def _actor(event: TraceEvent) -> Optional[int]:
+        """The vector-clock actor for *event*, or ``None`` if untracked.
+
+        Join processors are their own actors.  Settlement events are
+        emitted with ``proc == -1`` by router coroutines; they get a
+        synthetic negative id per shard (the coroutine that settles that
+        shard's sub-requests) or the coordinator id for route/merge
+        events, so the settlement latch still threads happens-before
+        edges between them.  Other coordinator events stay untracked.
+        """
+        if event.proc >= 0:
+            return event.proc
+        if _LATCH_OF.get(event.kind) == _SETTLEMENT_LATCH:
+            shard = event.data.get("shard")
+            if shard is not None:
+                return _SHARD_ACTOR_BASE - int(shard)
+            return _ROUTER_ACTOR
+        return None
+
+    def _latch_clock(self, latch: str) -> dict[int, int]:
+        return self._latch_clocks.setdefault(latch, {})
+
+    def _step(self, event: TraceEvent, actor: int, global_mode: bool) -> None:
+        clock = self._clocks.setdefault(actor, {})
+        clock[actor] = clock.get(actor, 0) + 1
 
         kind = event.kind
+        latch = _LATCH_OF.get(kind)
         page = event.data.get("page")
 
-        if kind in _LATCH_EVENTS:
+        if latch is not None:
             # Acquire: everything released at the latch happened-before us.
-            _merge(clock, self._latch_clock)
+            _merge(clock, self._latch_clock(latch))
         elif kind is EventKind.BUFFER_INSERT and global_mode:
             # The latched load claim that preceded this disk read is not
             # logged; the insert inherits its release/acquire edge.
-            _merge(clock, self._latch_clock)
+            _merge(clock, self._latch_clock(_DIRECTORY_LATCH))
 
-        if not global_mode:
-            # Local-only buffers: page copies are private per processor,
-            # nothing here is a shared location.
-            self._remember(event)
-            return
-
-        if page is not None:
+        # Page-copy conflict analysis only applies to the global buffer:
+        # with local-only buffers page copies are private per processor
+        # and nothing below is a shared location.  The latch clocks above
+        # are still maintained — lease and settlement traces are
+        # typically "local" mode (no directory events at all).
+        if global_mode and page is not None:
             page = int(page)
+            proc = event.proc  # page events carry a real processor id
             if kind is EventKind.PAGE_REGISTERED:
                 self._check_register(event, page)
                 self._write(self._dir_slot(page), event, page, latched=True)
@@ -197,9 +266,9 @@ class RaceDetector:
                 if event.data.get("source") == "lru":
                     self._read(self._page(page), event, page, latched=False)
 
-        if kind in _LATCH_EVENTS:
+        if latch is not None:
             # Release: publish our knowledge to the next latch holder.
-            _merge(self._latch_clock, clock)
+            _merge(self._latch_clock(latch), clock)
 
         self._remember(event)
 

@@ -47,7 +47,8 @@ __all__ = ["Rule", "ProjectRule", "file_rules", "project_rules", "all_rule_ids"]
 
 #: Path components whose modules must stay deterministic.
 DETERMINISTIC_COMPONENTS = frozenset(
-    {"sim", "join", "faults", "buffer", "storage", "trace"}
+    {"sim", "join", "faults", "buffer", "storage", "trace",
+     "recovery", "shard", "rtree"}
 )
 #: Path components of the async serving layer.
 SERVICE_COMPONENTS = frozenset({"service"})

@@ -42,7 +42,7 @@ import asyncio
 import itertools
 import time
 from dataclasses import dataclass
-from typing import Hashable, Mapping, Optional, Sequence
+from typing import Callable, Hashable, Mapping, Optional, Sequence
 
 from ..faults import FaultInjector, FaultPlan
 from ..geometry.rect import Rect
@@ -127,6 +127,7 @@ class ShardRouter:
         config: Optional[ShardConfig] = None,
         *,
         sinks: Sequence = (),
+        clock: Callable[[], float] = time.monotonic,
     ):
         self.config = config or ShardConfig()
         if self.config.replicas < 1:
@@ -134,9 +135,12 @@ class ShardRouter:
         if self.config.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         self.metrics = ServiceMetrics()
-        self._t0 = time.monotonic()
+        # The serving tier owns real time; tests inject a fake clock and
+        # everything downstream (tracer, deadlines, leases) follows it.
+        self._clock = clock
+        self._t0 = clock()
         self.tracer = Tracer(
-            clock=lambda: time.monotonic() - self._t0,
+            clock=self._now,
             sinks=[self.metrics, *sinks],
         )
         self.sharded: ShardedDataset = build_sharded(
@@ -580,12 +584,24 @@ class ShardRouter:
     ):
         """One routed sub-request: leased execution with replica failover.
 
-        Settles exactly once — DONE on success, FAILED after the last
-        attempt (or on abandonment by a cancelled request), with a
-        FAILOVER edge between attempts.  Every attempt runs under its own
-        lease; a failed attempt's lease expires and its task is requeued
-        (the ``LSE_*`` ledger the RecoveryAccountingChecker reconciles)
-        before the next replica picks it up.
+        Every ``SENT`` settles exactly once — DONE on success, FAILOVER
+        between attempts, FAILED on the last attempt (or on abandonment
+        by a cancelled request).  Three consequences the settlement spec
+        (``repro.analysis.protocol``) holds us to:
+
+        * a budget exhausted *before* the first attempt raises without
+          any settlement event (there is no SENT to settle);
+        * give-up vs failover is decided *before* a FAILOVER is emitted,
+          so a FAILOVER always keeps its promise of a following SENT —
+          a budget that dies between attempts settles the failed SENT
+          as FAILED instead of announcing a retry that never comes;
+        * a cancelled request emits FAILED only when the current
+          attempt's SENT is still unsettled.
+
+        Every attempt runs under its own lease; a failed attempt's lease
+        expires and its task is requeued (the ``LSE_*`` ledger the
+        RecoveryAccountingChecker reconciles) before the next replica
+        picks it up.
         """
         self._waiting[cls] += 1
         try:
@@ -601,6 +617,7 @@ class ShardRouter:
         self._rr[shard] = (start + 1) % replicas
         task = f"{rid}/{shard}"
         lease = None
+        pending_sent = False  # the current attempt's SENT is unsettled
         try:
             for attempt in range(self.config.max_attempts):
                 replica = (start + attempt) % replicas
@@ -608,7 +625,10 @@ class ShardRouter:
                 timeout_s = self.config.attempt_timeout_s
                 if deadline is not None:
                     remaining = deadline - self._now()
-                    if remaining <= 0:
+                    if remaining <= 0 and attempt == 0:
+                        # Nothing was ever sent: fail the sub-request
+                        # with no settlement event — FAILED may only
+                        # settle a SENT.
                         raise self._give_up(
                             rid, shard, cls, attempt, "deadline",
                             WorkerError(
@@ -617,10 +637,17 @@ class ShardRouter:
                                 cause_type="deadline",
                                 kind=kind,
                             ),
+                            sent=False,
                         )
+                    # attempt > 0: a FAILOVER promised this resend (the
+                    # give-up decision already saw a live budget; the
+                    # clock may have advanced since).  Send with the
+                    # clamped remainder — an expired budget surfaces as
+                    # an immediate attempt timeout, which settles the
+                    # SENT lawfully through the WorkerError path.
                     timeout_s = (
-                        remaining if timeout_s is None
-                        else min(timeout_s, remaining)
+                        max(0.0, remaining) if timeout_s is None
+                        else min(timeout_s, max(0.0, remaining))
                     )
                 holder = shard * replicas + replica
                 lease = self.leases.grant(task, holder=holder)
@@ -629,13 +656,21 @@ class ShardRouter:
                     req=rid, shard=shard, replica=replica,
                     attempt=attempt, op=kind,
                 )
+                pending_sent = True
                 try:
                     value = await pool.run(kind, *args, timeout_s=timeout_s)
                 except WorkerError as exc:
                     self.leases.expire(lease.id, reason=exc.cause_type)
                     self._requeue(task, holder)
                     lease = None
-                    if attempt + 1 >= self.config.max_attempts:
+                    # Decide give-up vs failover *now*, before promising
+                    # a resend: out of attempts, or out of budget for
+                    # another one.
+                    out_of_budget = (
+                        deadline is not None and deadline - self._now() <= 0
+                    )
+                    if attempt + 1 >= self.config.max_attempts or out_of_budget:
+                        pending_sent = False
                         raise self._give_up(
                             rid, shard, cls, attempt + 1, exc.cause_type, exc
                         )
@@ -653,6 +688,7 @@ class ShardRouter:
                         next_replica=(start + attempt + 1) % replicas,
                         attempt=attempt, error=exc.cause_type,
                     )
+                    pending_sent = False
                     continue
                 rows = self._row_count(kind, value)
                 # First completion wins; a resurfacing lost attempt would
@@ -666,22 +702,26 @@ class ShardRouter:
                         req=rid, shard=shard, replica=replica,
                         attempt=attempt, rows=rows,
                     )
+                    pending_sent = False
                 return value
             raise AssertionError("unreachable: attempts exhausted silently")
         except asyncio.CancelledError:
             # The awaiting request timed out or was cancelled: the
             # attempt's lease is released (expired + requeued, with no
-            # taker — the request is gone) and the sub-request settles
-            # as FAILED so the fan-out ledger balances.
+            # taker — the request is gone) and, if the attempt's SENT is
+            # still unsettled, the sub-request settles as FAILED so the
+            # fan-out ledger balances.  With no SENT pending there is
+            # nothing to settle and FAILED would unbalance it instead.
             if lease is not None and self.leases.is_active(lease.id):
                 holder = lease.holder
                 self.leases.expire(lease.id, reason="abandoned")
                 self._requeue(task, holder, abandoned=1)
-            self._emit_raw(
-                EventKind.SHD_SUBREQUEST_FAILED,
-                req=rid, shard=shard, attempts=self.config.max_attempts,
-                error="abandoned",
-            )
+            if pending_sent:
+                self._emit_raw(
+                    EventKind.SHD_SUBREQUEST_FAILED,
+                    req=rid, shard=shard, attempts=attempt + 1,
+                    error="abandoned",
+                )
             raise
         finally:
             stats["inflight"] -= 1
@@ -689,7 +729,7 @@ class ShardRouter:
 
     def _give_up(
         self, rid: int, shard: int, cls: RequestClass, attempts: int,
-        error: str, exc: WorkerError,
+        error: str, exc: WorkerError, sent: bool = True,
     ) -> WorkerError:
         if exc.call_id >= 0:
             # Answer the last attempt's SUP_CALL_FAILED (a synthetic
@@ -699,10 +739,15 @@ class ShardRouter:
                 EventKind.SUP_CALL_GIVEUP, cls,
                 call=exc.call_id, attempts=attempts, error=error,
             )
-        self._emit_raw(
-            EventKind.SHD_SUBREQUEST_FAILED,
-            req=rid, shard=shard, attempts=attempts, error=error,
-        )
+        if sent:
+            # FAILED settles the attempt's SENT; with nothing sent (a
+            # budget that expired before the first attempt) the failure
+            # is the raised exception alone — an unmatched FAILED would
+            # unbalance the settlement ledger.
+            self._emit_raw(
+                EventKind.SHD_SUBREQUEST_FAILED,
+                req=rid, shard=shard, attempts=attempts, error=error,
+            )
         return exc
 
     def _requeue(self, task: str, holder: int, **extra) -> None:
@@ -719,7 +764,7 @@ class ShardRouter:
 
     # -- helpers --------------------------------------------------------------
     def _now(self) -> float:
-        return time.monotonic() - self._t0
+        return self._clock() - self._t0
 
     def _emit(
         self, kind: EventKind, cls: Optional[RequestClass] = None, **data

@@ -1361,6 +1361,19 @@ class ShardAccountingChecker(InvariantChecker):
         }
 
 
+def _conformance_checkers() -> list[InvariantChecker]:
+    """Spec-compiled protocol monitors (one per registered spec).
+
+    Imported lazily: :mod:`repro.analysis.protocol` subclasses
+    :class:`InvariantChecker`, so a module-level import here would be a
+    cycle.  Each monitor is vacuous on streams without its protocol's
+    events, so the full set rides on every run.
+    """
+    from ..analysis.protocol import conformance_checkers
+
+    return conformance_checkers()
+
+
 def default_checkers() -> list[InvariantChecker]:
     """One fresh instance of every standard checker."""
     return [
@@ -1376,6 +1389,7 @@ def default_checkers() -> list[InvariantChecker]:
         RecoveryAccountingChecker(),
         # And vacuous without SHD_* sharded-routing events.
         ShardAccountingChecker(),
+        *_conformance_checkers(),
     ]
 
 
@@ -1395,6 +1409,7 @@ def recovery_checkers() -> list[InvariantChecker]:
         ClockMonotonicityChecker(),
         ResilienceAccountingChecker(),
         RecoveryAccountingChecker(),
+        *_conformance_checkers(),
     ]
 
 
@@ -1412,6 +1427,7 @@ def service_checkers() -> list[InvariantChecker]:
         ClockMonotonicityChecker(),
         ShardAccountingChecker(),
         RecoveryAccountingChecker(),
+        *_conformance_checkers(),
     ]
 
 

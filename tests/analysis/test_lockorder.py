@@ -1,0 +1,246 @@
+"""Lock-order / blocking-while-holding analysis on planted fixtures,
+plus the clean-repo gate."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import Severity
+from repro.analysis.lockorder import analyze_lock_order
+
+
+def plant(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def run(tmp_path):
+    return analyze_lock_order([str(tmp_path)])
+
+
+class TestLockOrderCycles:
+    def test_ab_ba_cycle_reported_both_directions(self, tmp_path):
+        plant(tmp_path, """
+            class Pair:
+                def forward(self):
+                    self.a.acquire()
+                    try:
+                        self.b.acquire()
+                        self.b.release()
+                    finally:
+                        self.a.release()
+
+                def backward(self):
+                    self.b.acquire()
+                    try:
+                        self.a.acquire()
+                        self.a.release()
+                    finally:
+                        self.b.release()
+        """)
+        findings, stats = run(tmp_path)
+        lock001 = [f for f in findings if f.rule == "LOCK001"]
+        assert len(lock001) == 2
+        assert all(f.severity is Severity.ERROR for f in lock001)
+        messages = [f.message for f in lock001]
+        assert any(
+            "'Pair.a' held while acquiring 'Pair.b'" in m for m in messages
+        )
+        assert any(
+            "'Pair.b' held while acquiring 'Pair.a'" in m for m in messages
+        )
+        assert stats["order_edges"] == 2
+
+    def test_self_reacquisition_is_a_cycle(self, tmp_path):
+        plant(tmp_path, """
+            class Table:
+                def grab_twice(self):
+                    self.lock.acquire()
+                    self.lock.acquire()
+                    self.lock.release()
+                    self.lock.release()
+        """)
+        findings, _ = run(tmp_path)
+        (finding,) = [f for f in findings if f.rule == "LOCK001"]
+        assert "re-acquisition of non-reentrant lock" in finding.message
+        assert "Table.lock" in finding.message
+
+    def test_consistent_order_is_clean(self, tmp_path):
+        plant(tmp_path, """
+            class Pair:
+                def one(self):
+                    self.a.acquire()
+                    self.b.acquire()
+                    self.b.release()
+                    self.a.release()
+
+                def two(self):
+                    self.a.acquire()
+                    self.b.acquire()
+                    self.b.release()
+                    self.a.release()
+        """)
+        findings, stats = run(tmp_path)
+        assert findings == []
+        assert stats["order_edges"] == 1
+
+    def test_cycle_through_a_call_edge(self, tmp_path):
+        # forward() holds a and calls helper(), which acquires b;
+        # backward() does b -> a directly.  The cycle only exists
+        # interprocedurally.
+        plant(tmp_path, """
+            class Pair:
+                def helper_grab(self):
+                    self.b.acquire()
+                    self.b.release()
+
+                def forward(self):
+                    self.a.acquire()
+                    self.helper_grab()
+                    self.a.release()
+
+                def backward(self):
+                    self.b.acquire()
+                    self.a.acquire()
+                    self.a.release()
+                    self.b.release()
+        """)
+        findings, _ = run(tmp_path)
+        lock001 = [f for f in findings if f.rule == "LOCK001"]
+        assert len(lock001) == 2
+        via = next(f for f in lock001 if "helper_grab" in f.message)
+        assert "via call to helper_grab()" in via.message
+
+
+class TestBlockingWhileHolding:
+    def test_direct_sleep_under_lock(self, tmp_path):
+        plant(tmp_path, """
+            import time
+
+            class Cache:
+                def refresh(self):
+                    self.lock.acquire()
+                    try:
+                        time.sleep(0.1)
+                    finally:
+                        self.lock.release()
+        """)
+        findings, _ = run(tmp_path)
+        (finding,) = [f for f in findings if f.rule == "LOCK002"]
+        assert "time.sleep" in finding.message
+        assert "'Cache.lock'" in finding.message
+        assert "directly" in finding.message
+
+    def test_fsync_reached_through_call_chain(self, tmp_path):
+        plant(tmp_path, """
+            import os
+
+            class Journal:
+                def flush_record(self, fd):
+                    os.fsync(fd)
+
+                def commit(self, fd):
+                    self.lock.acquire()
+                    try:
+                        self.flush_record(fd)
+                    finally:
+                        self.lock.release()
+        """)
+        findings, _ = run(tmp_path)
+        (finding,) = [f for f in findings if f.rule == "LOCK002"]
+        assert "via flush_record()" in finding.message
+
+    def test_sleep_outside_lock_is_clean(self, tmp_path):
+        plant(tmp_path, """
+            import time
+
+            class Cache:
+                def refresh(self):
+                    self.lock.acquire()
+                    self.lock.release()
+                    time.sleep(0.1)
+        """)
+        findings, _ = run(tmp_path)
+        assert findings == []
+
+
+class TestCollisionNames:
+    def test_list_append_does_not_alias_journal_append(self, tmp_path):
+        # `append` is a collision-prone name: without a receiver hint
+        # pointing at the journal class, `results.append(...)` must not
+        # inherit JoinLog.append's fsync.
+        plant(tmp_path, """
+            import os
+
+            class JoinLog:
+                def append(self, fd):
+                    os.fsync(fd)
+
+            class Worker:
+                def collect(self):
+                    self.lock.acquire()
+                    results = []
+                    results.append(1)
+                    self.lock.release()
+        """)
+        findings, _ = run(tmp_path)
+        assert [f for f in findings if f.rule == "LOCK002"] == []
+
+    def test_hinted_receiver_does_resolve(self, tmp_path):
+        plant(tmp_path, """
+            import os
+
+            class JoinLog:
+                def append(self, fd):
+                    os.fsync(fd)
+
+            class Worker:
+                def commit(self, fd):
+                    self.lock.acquire()
+                    self.joinlog.append(fd)
+                    self.lock.release()
+        """)
+        findings, _ = run(tmp_path)
+        (finding,) = [f for f in findings if f.rule == "LOCK002"]
+        assert "via append()" in finding.message
+
+
+class TestNonLockProtocols:
+    def test_breaker_slot_protocol_is_not_a_lock(self, tmp_path):
+        # The circuit breaker's acquire/release is a permit protocol,
+        # not mutual exclusion; it has its own spec in the protocol
+        # registry and must not feed the lock graph.
+        plant(tmp_path, """
+            import time
+
+            class Pool:
+                async def call(self, breaker):
+                    breaker.acquire()
+                    time.sleep(0.1)
+                    breaker.release()
+        """)
+        findings, stats = run(tmp_path)
+        assert findings == []
+        assert stats["locks"] == 0
+
+
+class TestRepoGate:
+    def test_src_tree_is_clean(self):
+        findings, stats = analyze_lock_order(["src/repro"])
+        errors = [f for f in findings if f.severity is Severity.ERROR]
+        assert errors == [], [f.render() for f in errors]
+        assert stats["functions"] > 100
+        assert stats["locks"] > 0
+
+    def test_stats_schema(self, tmp_path):
+        plant(tmp_path, """
+            async def fan_out(pool):
+                await pool.gather()
+        """)
+        _, stats = run(tmp_path)
+        assert set(stats) == {
+            "files", "functions", "locks", "order_edges",
+            "await_edges", "findings",
+        }
+        assert stats["await_edges"] == 1

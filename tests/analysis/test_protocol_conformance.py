@@ -1,0 +1,254 @@
+"""Spec-compiled conformance monitors: clean streams pass, planted
+protocol violations are flagged, and the monitors ride in the standard
+checker sets."""
+
+import pytest
+
+from repro.analysis.protocol import (
+    ProtocolConformanceChecker,
+    conformance_checkers,
+    get_spec,
+)
+from repro.trace.checkers import default_checkers, run_checkers
+from repro.trace.events import EventKind, TraceEvent
+
+
+def ev(seq, kind, proc=-1, **data):
+    return TraceEvent(seq, seq * 0.001, kind, proc, data)
+
+
+def replay(spec_name, events):
+    checker = ProtocolConformanceChecker(get_spec(spec_name))
+    for event in events:
+        checker.handle(event)
+    return checker.finish()
+
+
+class TestRegistry:
+    def test_one_monitor_per_spec(self):
+        checkers = conformance_checkers()
+        names = {c.name for c in checkers}
+        assert names == {
+            "protocol:circuit-breaker",
+            "protocol:lease",
+            "protocol:journal",
+            "protocol:shard-settlement",
+            "protocol:buffer-directory",
+        }
+
+    def test_monitors_ride_in_default_checker_set(self):
+        names = {c.name for c in default_checkers()}
+        assert "protocol:shard-settlement" in names
+        assert "protocol:buffer-directory" in names
+
+    def test_vacuous_on_foreign_streams(self):
+        # A stream with none of the spec's events yields a clean verdict
+        # (this is what lets all five ride on every run).
+        verdict = replay(
+            "lease", [ev(0, EventKind.BUFFER_INSERT, 0, page=1)]
+        )
+        assert verdict.ok
+
+
+class TestSettlement:
+    def test_clean_fanout_passes(self):
+        verdict = replay("shard-settlement", [
+            ev(0, EventKind.SHD_SUBREQUEST_SENT, req=1, shard=0),
+            ev(1, EventKind.SHD_SUBREQUEST_SENT, req=1, shard=1),
+            ev(2, EventKind.SHD_FAILOVER, req=1, shard=1),
+            ev(3, EventKind.SHD_SUBREQUEST_SENT, req=1, shard=1),
+            ev(4, EventKind.SHD_SUBREQUEST_DONE, req=1, shard=0),
+            ev(5, EventKind.SHD_SUBREQUEST_DONE, req=1, shard=1),
+        ])
+        assert verdict.ok, verdict.violations
+        assert verdict.stats["instances"] == 2
+
+    def test_failed_without_sent_is_flagged(self):
+        verdict = replay("shard-settlement", [
+            ev(0, EventKind.SHD_SUBREQUEST_FAILED, req=1, shard=0,
+               error="deadline"),
+        ])
+        assert not verdict.ok
+        assert "no transition enabled" in verdict.violations[0]
+
+    def test_failed_after_unhonoured_failover_is_flagged(self):
+        # FAILOVER promises a resend; settling FAILED instead breaks the
+        # promise (give_up fires only from inflight, not retry_pending).
+        verdict = replay("shard-settlement", [
+            ev(0, EventKind.SHD_SUBREQUEST_SENT, req=1, shard=0),
+            ev(1, EventKind.SHD_FAILOVER, req=1, shard=0),
+            ev(2, EventKind.SHD_SUBREQUEST_FAILED, req=1, shard=0,
+               error="crash"),
+        ])
+        assert not verdict.ok
+        assert "retry_pending" in verdict.violations[0]
+
+    def test_unsettled_sent_is_flagged_at_end(self):
+        verdict = replay("shard-settlement", [
+            ev(0, EventKind.SHD_SUBREQUEST_SENT, req=1, shard=0),
+        ])
+        assert not verdict.ok
+        joined = "\n".join(verdict.violations)
+        assert "non-terminal" in joined
+        assert "fanout_settled" in joined
+
+
+class TestLease:
+    def test_clean_lifecycle_passes(self):
+        verdict = replay("lease", [
+            ev(0, EventKind.LSE_GRANTED, 0, task=7, lease=1),
+            ev(1, EventKind.LSE_EXPIRED, 0, task=7, lease=1),
+            ev(2, EventKind.LSE_REQUEUED, 0, task=7),
+            ev(3, EventKind.LSE_GRANTED, 1, task=7, lease=2),
+            ev(4, EventKind.LSE_COMPLETED, 1, task=7, lease=2),
+            ev(5, EventKind.LSE_DUP_DROPPED, 0, task=7),
+        ])
+        assert verdict.ok, verdict.violations
+
+    def test_double_completion_is_flagged(self):
+        verdict = replay("lease", [
+            ev(0, EventKind.LSE_GRANTED, 0, task=7, lease=1),
+            ev(1, EventKind.LSE_COMPLETED, 0, task=7, lease=1),
+            ev(2, EventKind.LSE_COMPLETED, 1, task=7, lease=1),
+        ])
+        assert not verdict.ok
+        assert "no transition enabled" in verdict.violations[0]
+
+    def test_expiry_without_requeue_wedges_as_orphaned(self):
+        verdict = replay("lease", [
+            ev(0, EventKind.LSE_GRANTED, 0, task=7, lease=1),
+            ev(1, EventKind.LSE_EXPIRED, 0, task=7, lease=1),
+        ])
+        assert not verdict.ok
+        joined = "\n".join(verdict.violations)
+        assert "'orphaned'" in joined and "non-terminal" in joined
+
+    def test_secondary_splits_do_not_advance_the_automaton(self):
+        # split > 0 events are filtered by the `when` clause: a lone
+        # secondary completion neither advances state nor counts.
+        verdict = replay("lease", [
+            ev(0, EventKind.LSE_COMPLETED, 0, task=7, lease=1, split=1),
+        ])
+        assert verdict.ok
+        assert verdict.stats["completions"] == 0
+
+
+class TestBreaker:
+    def test_clean_trip_probe_recover_passes(self):
+        verdict = replay("circuit-breaker", [
+            ev(0, EventKind.SUP_BREAKER_OPEN, cls="window"),
+            ev(1, EventKind.SUP_BREAKER_HALF_OPEN, cls="window"),
+            ev(2, EventKind.SUP_BREAKER_CLOSED, cls="window"),
+        ])
+        assert verdict.ok, verdict.violations
+
+    def test_unlawful_edge_is_flagged(self):
+        # CLOSED is only announced by a successful half-open probe; a
+        # breaker claiming CLOSED from CLOSED took an edge the spec
+        # doesn't have.
+        verdict = replay("circuit-breaker", [
+            ev(0, EventKind.SUP_BREAKER_CLOSED, cls="window"),
+        ])
+        assert not verdict.ok
+        assert "no transition enabled" in verdict.violations[0]
+
+    def test_classes_are_independent_instances(self):
+        verdict = replay("circuit-breaker", [
+            ev(0, EventKind.SUP_BREAKER_OPEN, cls="window"),
+            ev(1, EventKind.SUP_BREAKER_OPEN, cls="join"),
+        ])
+        assert verdict.ok
+        assert verdict.stats["instances"] == 2
+
+
+class TestDirectory:
+    def test_lawful_handover_passes(self):
+        verdict = replay("buffer-directory", [
+            ev(0, EventKind.PAGE_REGISTERED, 0, page=3),
+            ev(1, EventKind.REMOTE_FETCH, 1, page=3, owner=0),
+            ev(2, EventKind.PAGE_DEREGISTERED, 0, page=3),
+            ev(3, EventKind.PAGE_REGISTERED, 1, page=3),
+        ])
+        assert verdict.ok, verdict.violations
+
+    def test_stale_deregister_is_flagged(self):
+        verdict = replay("buffer-directory", [
+            ev(0, EventKind.PAGE_REGISTERED, 0, page=3),
+            ev(1, EventKind.PAGE_DEREGISTERED, 1, page=3),
+        ])
+        assert not verdict.ok
+        assert "no transition enabled" in verdict.violations[0]
+
+    def test_foreign_register_overwrite_is_flagged(self):
+        verdict = replay("buffer-directory", [
+            ev(0, EventKind.PAGE_REGISTERED, 0, page=3),
+            ev(1, EventKind.PAGE_REGISTERED, 1, page=3),
+        ])
+        assert not verdict.ok
+
+
+class TestJournal:
+    def test_scan_ledger_agreement_passes(self):
+        verdict = replay("journal", [
+            ev(0, EventKind.JNL_APPENDED, task=1),
+            ev(1, EventKind.JNL_TORN_DETECTED, line=2),
+            ev(2, EventKind.JNL_SCANNED, records=1, torn=1),
+            ev(3, EventKind.JNL_REPLAYED, task=1),
+        ])
+        assert verdict.ok, verdict.violations
+
+    def test_scan_ledger_disagreement_is_flagged(self):
+        # The scan summary claims two torn lines but only one per-line
+        # detection was emitted: the end invariant catches the skew.
+        verdict = replay("journal", [
+            ev(0, EventKind.JNL_TORN_DETECTED, line=2),
+            ev(1, EventKind.JNL_SCANNED, records=1, torn=2),
+        ])
+        assert not verdict.ok
+        assert "scan_torn_ledger" in verdict.violations[0]
+
+
+class TestRealSimulation:
+    @pytest.mark.slow
+    def test_traced_gsrr_run_conforms(self, tmp_path):
+        from repro.datagen import build_tree, paper_maps
+        from repro.join import (
+            GSRR,
+            ParallelJoinConfig,
+            parallel_spatial_join,
+            prepare_trees,
+        )
+        from repro.trace import TraceConfig
+        from repro.trace.sinks import read_jsonl
+
+        map_r, map_s = paper_maps(scale=0.02)
+        tree_r, tree_s = build_tree(map_r), build_tree(map_s)
+        store = prepare_trees(tree_r, tree_s)
+        trace_path = tmp_path / "run.jsonl"
+        parallel_spatial_join(
+            tree_r,
+            tree_s,
+            ParallelJoinConfig(
+                processors=4,
+                disks=4,
+                total_buffer_pages=96,
+                variant=GSRR,
+                trace=TraceConfig(
+                    keep_events=False,
+                    checkers=False,
+                    jsonl_path=str(trace_path),
+                ),
+            ),
+            page_store=store,
+        )
+        verdicts = run_checkers(
+            read_jsonl(trace_path), conformance_checkers()
+        )
+        bad = [v for v in verdicts if not v.ok]
+        assert bad == [], [
+            (v.checker, v.violations) for v in bad
+        ]
+        directory = next(
+            v for v in verdicts if v.checker == "protocol:buffer-directory"
+        )
+        assert directory.stats["instances"] > 0

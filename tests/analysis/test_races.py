@@ -128,6 +128,71 @@ class TestExplainMode:
         assert all(f.context == () for f in findings)
 
 
+class TestLatchEdges:
+    """The lease-table and router-settlement latch clocks (happens-before
+    coverage for recovery and shard traces, not just the buffer
+    directory)."""
+
+    def test_lease_events_thread_happens_before_across_holders(self):
+        # grant(0) -> expire(0) -> requeue(0) -> grant(1): the regrant to
+        # proc 1 goes through the lease-table lock, so everything proc 0
+        # did under it happened-before proc 1's grant.
+        detector = RaceDetector()
+        for event in (
+            ev(0, EventKind.LSE_GRANTED, 0, task=7, lease=1),
+            ev(1, EventKind.LSE_EXPIRED, 0, task=7, lease=1),
+            ev(2, EventKind.LSE_REQUEUED, 0, task=7),
+            ev(3, EventKind.LSE_GRANTED, 1, task=7, lease=2),
+        ):
+            detector.feed(event)
+        findings = detector.finish()
+        assert findings == []
+        assert detector.stats["mode"] == "local"
+        assert detector.stats["latches"] == 1
+        # Proc 1's clock has absorbed proc 0's final lease-table epoch.
+        assert detector._clocks[1].get(0, 0) >= detector._clocks[0][0]
+
+    def test_settlement_events_get_synthetic_actors(self):
+        # SHD_* events are emitted with proc == -1; previously the
+        # detector dropped them on the floor.  Now each shard's
+        # settlements and the coordinator's route/merge are actors whose
+        # clocks chain through the settlement lock.
+        detector = RaceDetector()
+        for event in (
+            ev(0, EventKind.SHD_REQUEST_ROUTED, -1, req=1, cls="window"),
+            ev(1, EventKind.SHD_SUBREQUEST_SENT, -1, req=1, shard=0),
+            ev(2, EventKind.SHD_SUBREQUEST_SENT, -1, req=1, shard=1),
+            ev(3, EventKind.SHD_SUBREQUEST_DONE, -1, req=1, shard=0),
+            ev(4, EventKind.SHD_SUBREQUEST_DONE, -1, req=1, shard=1),
+            ev(5, EventKind.SHD_MERGED, -1, req=1, cls="window"),
+        ):
+            detector.feed(event)
+        findings = detector.finish()
+        assert findings == []
+        coordinator = detector._clocks[-2]
+        shard_actors = [a for a in detector._clocks if a <= -10]
+        assert len(shard_actors) == 2
+        # At the merge, the coordinator has seen every shard's settle.
+        for actor in shard_actors:
+            assert coordinator.get(actor, 0) == detector._clocks[actor][actor]
+
+    def test_non_settlement_coordinator_events_stay_untracked(self):
+        detector = RaceDetector()
+        detector.feed(ev(0, EventKind.SHD_SHARD_UP, -1, shard=0))
+        assert detector.finish() == []
+        assert detector._clocks == {}
+
+    def test_each_latch_has_its_own_clock(self):
+        # Directory and lease events must not serialise each other.
+        events = [
+            ev(0, EventKind.PAGE_REGISTERED, 0, page=3),
+            ev(1, EventKind.LSE_GRANTED, 1, task=7, lease=1),
+        ]
+        findings, stats = detect_races(events)
+        assert findings == []
+        assert stats["latches"] == 2
+
+
 class TestSinkProtocol:
     def test_detector_is_a_trace_sink(self):
         detector = RaceDetector(source="inline")

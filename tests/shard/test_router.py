@@ -1,6 +1,7 @@
 """ShardRouter behaviour: routing, merging, failover, admission, traces."""
 
 import asyncio
+import itertools
 import random
 
 import pytest
@@ -13,10 +14,13 @@ from repro.join.sequential import sequential_join
 from repro.service.model import (
     JoinRequest,
     KNNRequest,
+    RequestClass,
     Status,
     WindowRequest,
     canonical_rect,
 )
+from repro.service.resilience import WorkerError
+from repro.service.workers import WorkerPool
 from repro.shard import ShardConfig, ShardRouter
 from repro.trace import (
     EventKind,
@@ -200,6 +204,177 @@ class TestFailover:
 
         responses = asyncio.run(main())
         assert all(r.status is Status.OK for r in responses)
+        assert_checkers_clean(sink)
+
+
+class FakeClock:
+    """An injectable monotonic clock the tests advance by hand."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def shd_events(sink, kind):
+    return [e for e in sink.events if e.kind is kind]
+
+
+class TestSettlementDiscipline:
+    """Every SHD_SUBREQUEST_SENT settles exactly once — the regression
+    suite for the three settlement defects the protocol conformance
+    monitors flagged (FAILED with no SENT, FAILED after a FAILOVER's
+    unhonoured resend promise, and cancellation's unconditional FAILED).
+    """
+
+    def test_budget_expired_before_first_attempt_emits_no_settlement(self):
+        # Deadline already dead when the sub-request starts: it must
+        # raise without ANY settlement event — there is no SENT for a
+        # FAILED to settle, and an unmatched FAILED unbalances the
+        # fan-out ledger.
+        sink = ListSink()
+        clock = FakeClock()
+
+        async def main():
+            async with ShardRouter(
+                DATASETS, config(), sinks=[sink], clock=clock
+            ) as router:
+                clock.t = 100.0  # router time is now far past...
+                with pytest.raises(WorkerError) as info:
+                    await router._sub(
+                        1, 0, RequestClass.WINDOW, "windows",
+                        ("a", [(0.0, 0.0, 1.0, 1.0)]), deadline=50.0,
+                    )  # ...this request budget
+                assert info.value.cause_type == "deadline"
+
+        asyncio.run(main())
+        assert shd_events(sink, EventKind.SHD_SUBREQUEST_SENT) == []
+        assert shd_events(sink, EventKind.SHD_SUBREQUEST_FAILED) == []
+        assert shd_events(sink, EventKind.SHD_FAILOVER) == []
+        assert_checkers_clean(sink)
+
+    def test_budget_death_between_attempts_fails_instead_of_failover(
+        self, monkeypatch
+    ):
+        # The attempt burns the whole request budget and fails.  The old
+        # code announced a FAILOVER (promising a resend) and then gave
+        # up at the top of the loop — one SENT settled twice.  Now the
+        # give-up decision precedes the FAILOVER emit.
+        sink = ListSink()
+        clock = FakeClock()
+        call_ids = itertools.count(10_000)
+
+        async def dying_run(pool, kind, *args, timeout_s=None):
+            clock.t += 1000.0  # the attempt consumed the entire budget
+            call = next(call_ids)
+            if pool.tracer.enabled:
+                pool.tracer.emit(
+                    EventKind.SUP_CALL_FAILED,
+                    call=call, op=kind, error="crash",
+                )
+            raise WorkerError(
+                "worker crashed", cause_type="crash",
+                call_id=call, kind=kind,
+            )
+
+        monkeypatch.setattr(WorkerPool, "run", dying_run)
+
+        async def main():
+            async with ShardRouter(
+                DATASETS,
+                config(replicas=2, max_attempts=4),
+                sinks=[sink],
+                clock=clock,
+            ) as router:
+                return await router.submit(
+                    WindowRequest("a", (0, 0, 90, 90)), timeout=500.0
+                )
+
+        response = asyncio.run(main())
+        assert response.status is Status.ERROR
+        sent = shd_events(sink, EventKind.SHD_SUBREQUEST_SENT)
+        failed = shd_events(sink, EventKind.SHD_SUBREQUEST_FAILED)
+        assert len(sent) >= 1
+        assert len(failed) == len(sent)
+        assert shd_events(sink, EventKind.SHD_FAILOVER) == []
+        assert_checkers_clean(sink)
+
+    def test_cancelled_inflight_attempt_settles_as_abandoned(
+        self, monkeypatch
+    ):
+        # A request timeout cancels the fan-out while attempts are in
+        # flight: each unsettled SENT settles FAILED(error=abandoned),
+        # its lease expires and its task requeues with no taker.
+        sink = ListSink()
+
+        async def hanging_run(pool, kind, *args, timeout_s=None):
+            await asyncio.sleep(30.0)
+
+        monkeypatch.setattr(WorkerPool, "run", hanging_run)
+
+        async def main():
+            async with ShardRouter(
+                DATASETS, config(), sinks=[sink]
+            ) as router:
+                return await router.submit(
+                    WindowRequest("a", (0, 0, 90, 90)), timeout=0.2
+                )
+
+        response = asyncio.run(main())
+        assert response.status is Status.TIMEOUT
+        sent = shd_events(sink, EventKind.SHD_SUBREQUEST_SENT)
+        failed = shd_events(sink, EventKind.SHD_SUBREQUEST_FAILED)
+        assert len(sent) >= 1
+        assert len(failed) == len(sent)
+        assert all(e.data["error"] == "abandoned" for e in failed)
+        assert_checkers_clean(sink)
+
+    def test_exhausted_attempts_keep_the_failover_chain(self, monkeypatch):
+        # Unchanged behaviour with no deadline pressure: N attempts are
+        # N SENTs, N-1 FAILOVERs and one final FAILED.
+        sink = ListSink()
+        call_ids = itertools.count(20_000)
+
+        async def failing_run(pool, kind, *args, timeout_s=None):
+            call = next(call_ids)
+            if pool.tracer.enabled:
+                pool.tracer.emit(
+                    EventKind.SUP_CALL_FAILED,
+                    call=call, op=kind, error="crash",
+                )
+            raise WorkerError(
+                "worker crashed", cause_type="crash",
+                call_id=call, kind=kind,
+            )
+
+        monkeypatch.setattr(WorkerPool, "run", failing_run)
+
+        async def main():
+            async with ShardRouter(
+                DATASETS,
+                config(replicas=1, max_attempts=3),
+                sinks=[sink],
+            ) as router:
+                # A window deep inside one grid cell: a single-shard
+                # fan-out, so the one give-up matches the one surfaced
+                # request error.
+                return await router.submit(
+                    WindowRequest("a", (20, 20, 21, 21)), timeout=None
+                )
+
+        response = asyncio.run(main())
+        assert response.status is Status.ERROR
+        sent = shd_events(sink, EventKind.SHD_SUBREQUEST_SENT)
+        failovers = shd_events(sink, EventKind.SHD_FAILOVER)
+        failed = shd_events(sink, EventKind.SHD_SUBREQUEST_FAILED)
+        # Every fanned-out shard runs its full chain: 3 SENTs settle as
+        # 2 FAILOVERs + 1 FAILED each.
+        shards = len(failed)
+        assert shards >= 1
+        assert len(sent) == 3 * shards
+        assert len(failovers) == 2 * shards
+        assert all(e.data["attempts"] == 3 for e in failed)
         assert_checkers_clean(sink)
 
 

@@ -301,6 +301,11 @@ class TestCheckerPlumbing:
             "resilience-accounting",
             "recovery-accounting",
             "shard-accounting",
+            "protocol:circuit-breaker",
+            "protocol:lease",
+            "protocol:journal",
+            "protocol:shard-settlement",
+            "protocol:buffer-directory",
         ]
 
     def test_run_checkers_replays_everything(self):
@@ -308,7 +313,7 @@ class TestCheckerPlumbing:
         s.emit(EventKind.RUN_START, disks=2, reassign_level="all", task_level=1)
         s.emit(EventKind.RUN_END)
         verdicts = run_checkers(s.events)
-        assert len(verdicts) == 8
+        assert len(verdicts) == 13
         assert all(v.ok for v in verdicts)
 
     def test_violation_storage_is_capped(self):
